@@ -1,0 +1,89 @@
+// Command surf-bench regenerates the paper's tables and figures
+// (Section V) and writes them as aligned text to stdout and CSV files
+// to a results directory. See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded paper-vs-measured outcomes.
+//
+// Usage:
+//
+//	surf-bench -exp all -scale small -out results
+//	surf-bench -exp tab1 -scale full
+//	surf-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"surf/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (fig1..fig12, tab1, ablation) or 'all'")
+		scale = flag.String("scale", "small", "experiment scale: small (seconds) or full (minutes+)")
+		out   = flag.String("out", "results", "directory for CSV outputs ('' disables)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-9s %s\n", r.ID, r.Description)
+		}
+		return
+	}
+	if err := run(*exp, *scale, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "surf-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, scaleName, out string) error {
+	var scale experiments.Scale
+	switch scaleName {
+	case "small":
+		scale = experiments.Small
+	case "full":
+		scale = experiments.Full
+	default:
+		return fmt.Errorf("unknown -scale %q (want small or full)", scaleName)
+	}
+
+	var runners []experiments.Runner
+	if exp == "all" {
+		runners = experiments.All()
+	} else {
+		for _, id := range strings.Split(exp, ",") {
+			r, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	for _, r := range runners {
+		fmt.Printf("--- running %s (%s scale): %s\n", r.ID, scale, r.Description)
+		start := time.Now()
+		rep, err := r.Run(scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		fmt.Printf("--- %s finished in %s\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		if err := rep.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		if out != "" {
+			if err := rep.SaveCSVs(out); err != nil {
+				return fmt.Errorf("%s: save CSVs: %w", r.ID, err)
+			}
+		}
+	}
+	if out != "" {
+		fmt.Printf("CSV series written to %s/\n", out)
+	}
+	return nil
+}

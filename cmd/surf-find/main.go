@@ -1,0 +1,154 @@
+// Command surf-find mines interesting regions from a dataset: regions
+// whose statistic exceeds (or falls below) a threshold, found via a
+// trained surrogate model (fast, data-independent) or the true
+// function (the f+GlowWorm baseline).
+//
+// Usage:
+//
+//	surf-find -data data.csv -filters x,y -stat count \
+//	          -model model.surf -threshold 1000 -above
+//	surf-find -data data.csv -filters x,y -stat count \
+//	          -true -threshold 50 -below
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	surf "surf"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "dataset CSV (required)")
+		filters   = flag.String("filters", "", "comma-separated filter columns (required)")
+		stat      = flag.String("stat", "count", "statistic: count, sum, mean, min, max, median, variance, stddev, ratio")
+		target    = flag.String("target", "", "target column (for statistics other than count)")
+		modelPath = flag.String("model", "", "trained surrogate from surf-train")
+		useTrue   = flag.Bool("true", false, "optimize against the true function instead of a surrogate")
+		threshold = flag.Float64("threshold", 0, "statistic threshold yR (required)")
+		above     = flag.Bool("above", false, "seek regions with statistic > threshold")
+		below     = flag.Bool("below", false, "seek regions with statistic < threshold")
+		c         = flag.Float64("c", 4, "region-size regularizer (larger prefers smaller regions)")
+		clusters  = flag.Bool("clusters", false, "report swarm-cluster extents instead of individual regions")
+		kde       = flag.Bool("kde", false, "weight particle movement by the data density (Eq. 8)")
+		topk      = flag.Int("topk", 0, "instead of a threshold query, return the k most extreme regions (use -above for highest, -below for lowest)")
+		maxOut    = flag.Int("max", 10, "maximum regions to report")
+		seed      = flag.Uint64("seed", 1, "optimizer seed")
+	)
+	flag.Parse()
+	if err := run(*dataPath, *filters, *stat, *target, *modelPath, *useTrue, *threshold, *above, *below, *c, *clusters, *kde, *topk, *maxOut, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "surf-find:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataPath, filters, stat, target, modelPath string, useTrue bool, threshold float64, above, below bool, c float64, clusters, kde bool, topk, maxOut int, seed uint64) error {
+	if dataPath == "" || filters == "" {
+		return fmt.Errorf("-data and -filters are required")
+	}
+	if above == below {
+		return fmt.Errorf("exactly one of -above / -below is required")
+	}
+	if modelPath == "" && !useTrue {
+		return fmt.Errorf("either -model or -true is required")
+	}
+	statistic, err := surf.ParseStatistic(stat)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(dataPath)
+	if err != nil {
+		return err
+	}
+	ds, err := surf.ReadCSVDataset(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	eng, err := surf.Open(ds, surf.Config{
+		FilterColumns: strings.Split(filters, ","),
+		Statistic:     statistic,
+		TargetColumn:  target,
+		UseGridIndex:  true,
+	})
+	if err != nil {
+		return err
+	}
+	if modelPath != "" {
+		mf, err := os.Open(modelPath)
+		if err != nil {
+			return err
+		}
+		err = eng.LoadSurrogate(mf)
+		mf.Close()
+		if err != nil {
+			return err
+		}
+	}
+
+	var res *surf.Result
+	if topk > 0 {
+		res, err = eng.FindTopK(surf.TopKQuery{
+			K:               topk,
+			Largest:         above,
+			C:               c,
+			UseTrueFunction: useTrue,
+			Seed:            seed,
+		})
+		if err != nil {
+			return err
+		}
+		order := "lowest"
+		if above {
+			order = "highest"
+		}
+		fmt.Printf("query: top-%d %s-%s(%s) over %s\n", topk, order, stat, filters, dataPath)
+	} else {
+		res, err = eng.Find(surf.Query{
+			Threshold:       threshold,
+			Above:           above,
+			C:               c,
+			MaxRegions:      maxOut,
+			UseTrueFunction: useTrue,
+			UseKDE:          kde,
+			ClusterExtents:  clusters,
+			Seed:            seed,
+		})
+		if err != nil {
+			return err
+		}
+		dir := "<"
+		if above {
+			dir = ">"
+		}
+		fmt.Printf("query: %s(%s) %s %g over %s  [%.2fs, %.0f%% particles valid]\n",
+			stat, filters, dir, threshold, dataPath,
+			res.ElapsedSeconds, res.ValidParticleFraction*100)
+	}
+	if len(res.Regions) == 0 {
+		fmt.Println("no regions satisfy the constraint")
+		return nil
+	}
+	names := strings.Split(filters, ",")
+	for i, r := range res.Regions {
+		fmt.Printf("region %d:", i)
+		for j, name := range names {
+			fmt.Printf(" %s in [%.4g, %.4g]", name, r.Min[j], r.Max[j])
+		}
+		fmt.Printf("  estimate=%.4g", r.Estimate)
+		if r.Verified {
+			fmt.Printf(" true=%.4g", r.TrueValue)
+			if topk == 0 {
+				fmt.Printf(" satisfies=%v", r.Satisfies)
+			}
+		}
+		fmt.Println()
+	}
+	if topk == 0 {
+		fmt.Printf("%.0f%% of proposed regions verified against the true statistic\n", res.ComplianceRate*100)
+	}
+	return nil
+}

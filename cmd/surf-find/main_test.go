@@ -1,0 +1,81 @@
+package main
+
+import (
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"testing"
+
+	surf "surf"
+)
+
+// clusteredDataset writes a CSV with a dense cluster at (0.7, 0.3).
+func clusteredDataset(t *testing.T, dir string) string {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(1, 1))
+	const n = 4000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			xs[i] = 0.7 + rng.NormFloat64()*0.04
+			ys[i] = 0.3 + rng.NormFloat64()*0.04
+		} else {
+			xs[i] = rng.Float64()
+			ys[i] = rng.Float64()
+		}
+	}
+	ds, err := surf.NewDataset([]string{"x", "y"}, [][]float64{xs, ys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "data.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := ds.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", "", "count", "", "", false, 1, true, false, 4, false, false, 0, 5, 1); err == nil {
+		t.Error("expected error without -data/-filters")
+	}
+	if err := run("x.csv", "x", "count", "", "", false, 1, true, true, 4, false, false, 0, 5, 1); err == nil {
+		t.Error("expected error for both -above and -below")
+	}
+	if err := run("x.csv", "x", "count", "", "", false, 1, false, false, 4, false, false, 0, 5, 1); err == nil {
+		t.Error("expected error for neither -above nor -below")
+	}
+	if err := run("x.csv", "x", "count", "", "", false, 1, true, false, 4, false, false, 0, 5, 1); err == nil {
+		t.Error("expected error without -model or -true")
+	}
+}
+
+func TestRunTrueFunction(t *testing.T) {
+	dir := t.TempDir()
+	data := clusteredDataset(t, dir)
+	if err := run(data, "x,y", "count", "", "", true, 200, true, false, 4, true, false, 0, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithKDE(t *testing.T) {
+	dir := t.TempDir()
+	data := clusteredDataset(t, dir)
+	if err := run(data, "x,y", "count", "", "", true, 100, true, false, 4, false, true, 0, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTopK(t *testing.T) {
+	dir := t.TempDir()
+	data := clusteredDataset(t, dir)
+	if err := run(data, "x,y", "count", "", "", true, 0, true, false, 4, false, false, 2, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+}

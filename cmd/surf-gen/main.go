@@ -1,0 +1,123 @@
+// Command surf-gen generates synthetic datasets (and optional past-
+// query workloads) for experimenting with SuRF: the paper's planted
+// ground-truth datasets plus the Crimes and Human Activity simulators.
+//
+// Usage:
+//
+//	surf-gen -type density -dims 2 -regions 3 -n 10000 -out data.csv
+//	surf-gen -type crimes -n 50000 -out crimes.csv
+//	surf-gen -type density -dims 2 -n 10000 -out data.csv \
+//	         -workload 5000 -workload-out queries.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"surf/internal/dataset"
+	"surf/internal/synth"
+)
+
+func main() {
+	var (
+		typ         = flag.String("type", "density", "dataset type: density, aggregate, crimes, har")
+		dims        = flag.Int("dims", 2, "data dimensionality (density/aggregate)")
+		regions     = flag.Int("regions", 1, "number of planted ground-truth regions")
+		n           = flag.Int("n", 10000, "number of data points")
+		seed        = flag.Uint64("seed", 1, "generation seed")
+		out         = flag.String("out", "", "output CSV path (required)")
+		workload    = flag.Int("workload", 0, "also generate this many past query evaluations")
+		workloadOut = flag.String("workload-out", "", "workload CSV path (required with -workload)")
+	)
+	flag.Parse()
+	if err := run(*typ, *dims, *regions, *n, *seed, *out, *workload, *workloadOut); err != nil {
+		fmt.Fprintln(os.Stderr, "surf-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(typ string, dims, regions, n int, seed uint64, out string, workload int, workloadOut string) error {
+	if out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	if workload > 0 && workloadOut == "" {
+		return fmt.Errorf("-workload-out is required with -workload")
+	}
+
+	var data *dataset.Dataset
+	var spec dataset.Spec
+	var domainDims int
+	switch typ {
+	case "density", "aggregate":
+		st := synth.Density
+		if typ == "aggregate" {
+			st = synth.Aggregate
+		}
+		ds, err := synth.Generate(synth.Config{Dims: dims, Regions: regions, Stat: st, N: n, Seed: seed})
+		if err != nil {
+			return err
+		}
+		data, spec, domainDims = ds.Data, ds.Spec, dims
+		for i, gt := range ds.GT {
+			fmt.Printf("ground truth %d: %s (suggested yR = %g)\n", i, gt, ds.SuggestedYR)
+		}
+	case "crimes":
+		cfg := synth.DefaultCrimesConfig()
+		cfg.N, cfg.Seed = n, seed
+		c, err := synth.Crimes(cfg)
+		if err != nil {
+			return err
+		}
+		data, spec, domainDims = c.Data, c.Spec, 2
+	case "har":
+		cfg := synth.DefaultHARConfig()
+		cfg.N, cfg.Seed = n, seed
+		h, err := synth.HumanActivity(cfg)
+		if err != nil {
+			return err
+		}
+		data, spec, domainDims = h.Data, h.Spec, 3
+	default:
+		return fmt.Errorf("unknown -type %q", typ)
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := data.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d rows x %d cols to %s\n", data.Len(), data.NumCols(), out)
+
+	if workload > 0 {
+		ev, err := dataset.NewLinearScan(data, spec)
+		if err != nil {
+			return err
+		}
+		wcfg := synth.DefaultWorkloadConfig(workload)
+		wcfg.Seed = seed + 1
+		log, err := synth.GenerateWorkload(ev, data.Domain(spec.FilterCols), wcfg)
+		if err != nil {
+			return err
+		}
+		wf, err := os.Create(workloadOut)
+		if err != nil {
+			return err
+		}
+		if err := log.WriteCSV(wf); err != nil {
+			wf.Close()
+			return err
+		}
+		if err := wf.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d past evaluations (%d-dim regions) to %s\n", len(log), domainDims, workloadOut)
+	}
+	return nil
+}

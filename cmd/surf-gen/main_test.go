@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := run("density", 2, 1, 100, 1, "", 0, ""); err == nil {
+		t.Error("expected error without -out")
+	}
+	if err := run("density", 2, 1, 100, 1, "/tmp/x.csv", 10, ""); err == nil {
+		t.Error("expected error for -workload without -workload-out")
+	}
+	if err := run("bogus", 2, 1, 100, 1, filepath.Join(t.TempDir(), "x.csv"), 0, ""); err == nil {
+		t.Error("expected error for unknown type")
+	}
+}
+
+func TestRunGeneratesAllTypes(t *testing.T) {
+	dir := t.TempDir()
+	for _, typ := range []string{"density", "aggregate", "crimes", "har"} {
+		out := filepath.Join(dir, typ+".csv")
+		if err := run(typ, 2, 1, 500, 1, out, 0, ""); err != nil {
+			t.Fatalf("%s: %v", typ, err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Count(string(data), "\n")
+		if lines < 500 {
+			t.Errorf("%s: only %d lines", typ, lines)
+		}
+	}
+}
+
+func TestRunWithWorkload(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "d.csv")
+	wout := filepath.Join(dir, "w.csv")
+	if err := run("density", 1, 1, 1000, 2, out, 50, wout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(wout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 50 queries.
+	if got := strings.Count(string(data), "\n"); got != 51 {
+		t.Errorf("workload lines = %d, want 51", got)
+	}
+	if !strings.HasPrefix(string(data), "x1,l1,y") {
+		t.Errorf("workload header wrong: %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
+}

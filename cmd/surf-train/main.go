@@ -1,0 +1,115 @@
+// Command surf-train fits a SuRF surrogate model from a dataset: it
+// generates (or loads) a past-query workload and trains the
+// boosted-tree surrogate, optionally with the paper's GridSearchCV
+// hyper-parameter tuning, then saves the model for surf-find.
+//
+// Usage:
+//
+//	surf-train -data data.csv -filters x,y -stat count \
+//	           -queries 5000 -out model.surf
+//	surf-train -data data.csv -filters x,y -stat mean -target val \
+//	           -workload queries.csv -hypertune -out model.surf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	surf "surf"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "dataset CSV (required)")
+		filters   = flag.String("filters", "", "comma-separated filter columns (required)")
+		stat      = flag.String("stat", "count", "statistic: count, sum, mean, min, max, median, variance, stddev, ratio")
+		target    = flag.String("target", "", "target column (for statistics other than count)")
+		queries   = flag.Int("queries", 5000, "past evaluations to generate when no -workload is given")
+		workload  = flag.String("workload", "", "pre-recorded workload CSV (x1..xd,l1..ld,y)")
+		hypertune = flag.Bool("hypertune", false, "grid-search hyper-parameters with 3-fold CV (paper's 144-combination grid; slow)")
+		trees     = flag.Int("trees", 0, "boosting rounds (0 = default 100)")
+		depth     = flag.Int("depth", 0, "max tree depth (0 = default 6)")
+		seed      = flag.Uint64("seed", 1, "seed for workload generation and training")
+		out       = flag.String("out", "model.surf", "output model path")
+	)
+	flag.Parse()
+	if err := run(*dataPath, *filters, *stat, *target, *queries, *workload, *hypertune, *trees, *depth, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "surf-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataPath, filters, stat, target string, queries int, workloadPath string, hypertune bool, trees, depth int, seed uint64, out string) error {
+	if dataPath == "" || filters == "" {
+		return fmt.Errorf("-data and -filters are required")
+	}
+	statistic, err := surf.ParseStatistic(stat)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(dataPath)
+	if err != nil {
+		return err
+	}
+	ds, err := surf.ReadCSVDataset(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	eng, err := surf.Open(ds, surf.Config{
+		FilterColumns: strings.Split(filters, ","),
+		Statistic:     statistic,
+		TargetColumn:  target,
+		UseGridIndex:  true,
+	})
+	if err != nil {
+		return err
+	}
+
+	var wl surf.Workload
+	if workloadPath != "" {
+		wf, err := os.Open(workloadPath)
+		if err != nil {
+			return err
+		}
+		wl, err = surf.ReadWorkloadCSV(wf)
+		wf.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %d past evaluations from %s\n", wl.Len(), workloadPath)
+	} else {
+		start := time.Now()
+		wl, err = eng.GenerateWorkload(queries, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("generated %d past evaluations in %s\n", wl.Len(), time.Since(start).Round(time.Millisecond))
+	}
+
+	start := time.Now()
+	err = eng.TrainSurrogate(wl, surf.TrainOptions{
+		Trees: trees, MaxDepth: depth, HyperTune: hypertune, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained surrogate in %s (hypertune=%v)\n", time.Since(start).Round(time.Millisecond), hypertune)
+
+	of, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := eng.SaveSurrogate(of); err != nil {
+		of.Close()
+		return err
+	}
+	if err := of.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("saved model to %s\n", out)
+	return nil
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	surf "surf"
+)
+
+// writeDataset creates a small CSV dataset for CLI tests.
+func writeDataset(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "data.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cols := make([][]float64, 2)
+	for j := range cols {
+		cols[j] = make([]float64, 2000)
+		for i := range cols[j] {
+			cols[j][i] = float64((i*31+j*17)%1000) / 1000
+		}
+	}
+	ds, err := surf.NewDataset([]string{"x", "y"}, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", "", "count", "", 10, "", false, 0, 0, 1, "x"); err == nil {
+		t.Error("expected error without -data/-filters")
+	}
+	if err := run("/nonexistent.csv", "x", "count", "", 10, "", false, 0, 0, 1, "x"); err == nil {
+		t.Error("expected error for missing data file")
+	}
+	dir := t.TempDir()
+	data := writeDataset(t, dir)
+	if err := run(data, "x,y", "bogus", "", 10, "", false, 0, 0, 1, "x"); err == nil {
+		t.Error("expected error for unknown statistic")
+	}
+}
+
+func TestRunTrainsAndSaves(t *testing.T) {
+	dir := t.TempDir()
+	data := writeDataset(t, dir)
+	model := filepath.Join(dir, "model.surf")
+	if err := run(data, "x,y", "count", "", 300, "", false, 20, 3, 1, model); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Error("model file is empty")
+	}
+	// The saved model loads back into an engine.
+	f, err := os.Open(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := surf.ReadCSVDataset(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := surf.Open(ds, surf.Config{FilterColumns: []string{"x", "y"}, Statistic: surf.Count})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := os.Open(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	if err := eng.LoadSurrogate(mf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+// Class boundaries: the paper's high-dimensional motivating use case
+// (Section I-A). In an ML classification setting, find feature-space
+// regions with a high ratio of one class — interpretable
+// hyper-rectangles that suggest classification boundaries, without
+// dimensionality reduction.
+//
+// We build a two-class problem in 4-dimensional feature space: class 1
+// concentrates in two disjoint pockets; class 0 fills the rest. SuRF
+// mines boxes where the class-1 ratio exceeds 80%, which a downstream
+// user could read directly as rules ("f1 in [a,b] AND f2 in [c,d] →
+// class 1").
+//
+// Run with: go run ./examples/classboundaries
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	surf "surf"
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(31, 31))
+	const n = 20000
+	const dims = 4
+	pockets := [][2][4]float64{
+		// {center, half-side} of the class-1 pockets.
+		{{0.25, 0.25, 0.5, 0.5}, {0.12, 0.12, 0.2, 0.2}},
+		{{0.75, 0.7, 0.5, 0.5}, {0.1, 0.1, 0.2, 0.2}},
+	}
+
+	cols := make([][]float64, dims+1)
+	for j := range cols {
+		cols[j] = make([]float64, n)
+	}
+	point := make([]float64, dims)
+	ones := 0
+	for i := 0; i < n; i++ {
+		label := 0.0
+		if rng.Float64() < 0.35 {
+			// Class 1: sample inside a random pocket.
+			p := pockets[rng.IntN(len(pockets))]
+			for j := 0; j < dims; j++ {
+				point[j] = clamp01(p[0][j] + (rng.Float64()*2-1)*p[1][j])
+			}
+			label = 1
+			ones++
+		} else {
+			for j := 0; j < dims; j++ {
+				point[j] = rng.Float64()
+			}
+		}
+		for j := 0; j < dims; j++ {
+			cols[j][i] = point[j]
+		}
+		cols[dims][i] = label
+	}
+	ds, err := surf.NewDataset([]string{"f1", "f2", "f3", "f4", "class"}, cols)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d points, %.0f%% class 1, concentrated in %d pockets\n",
+		n, 100*float64(ones)/n, len(pockets))
+
+	eng, err := surf.Open(ds, surf.Config{
+		FilterColumns: []string{"f1", "f2", "f3", "f4"},
+		Statistic:     surf.Ratio,
+		TargetColumn:  "class",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	wl, err := eng.GenerateWorkload(6000, 37)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.TrainSurrogate(wl, surf.TrainOptions{Trees: 200}); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := eng.Find(surf.Query{
+		Threshold:      0.8,
+		Above:          true,
+		C:              1,
+		MinSideFrac:    0.05,
+		MaxSideFrac:    0.25,
+		ClusterExtents: true,
+		MaxRegions:     6,
+		Glowworms:      600,
+		Iterations:     150,
+		Seed:           41,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("mined %d candidate class-1 regions (%.0f%% verified, %.2fs)\n",
+		len(res.Regions), res.ComplianceRate*100, res.ElapsedSeconds)
+	names := []string{"f1", "f2", "f3", "f4"}
+	for i, r := range res.Regions {
+		fmt.Printf("  rule %d (class-1 ratio %.2f): IF", i, r.TrueValue)
+		for j, name := range names {
+			if j > 0 {
+				fmt.Print(" AND")
+			}
+			fmt.Printf(" %s in [%.2f, %.2f]", name, r.Min[j], r.Max[j])
+		}
+		fmt.Println(" THEN class=1")
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"surf/internal/geom"
+	"surf/internal/gso"
+)
+
+// swarmAt builds a fake converged swarm with particles at the given
+// (x, l) pairs, all valid unless listed in invalid.
+func swarmAt(points [][2]float64, invalid map[int]bool) *gso.Result {
+	res := &gso.Result{}
+	for i, p := range points {
+		res.Positions = append(res.Positions, []float64{p[0], p[1]})
+		res.Valid = append(res.Valid, !invalid[i])
+	}
+	return res
+}
+
+func TestClusterRegionsGroupsNearbyParticles(t *testing.T) {
+	// Two groups of tiny boxes: around x=0.2 and x=0.8.
+	pts := [][2]float64{
+		{0.18, 0.01}, {0.20, 0.01}, {0.22, 0.01},
+		{0.78, 0.01}, {0.80, 0.01}, {0.82, 0.01},
+	}
+	swarm := swarmAt(pts, nil)
+	regions := ClusterRegions(swarm, geom.Unit(1), 0.05)
+	if len(regions) != 2 {
+		t.Fatalf("got %d clusters, want 2: %v", len(regions), regions)
+	}
+	// Each cluster's extent covers its member spread (x ± l).
+	for _, r := range regions {
+		if r.Side(0) < 0.05 || r.Side(0) > 0.15 {
+			t.Errorf("cluster extent %v outside expected range", r)
+		}
+	}
+}
+
+func TestClusterRegionsSingleLinkChain(t *testing.T) {
+	// A chain of particles spaced below eps merges into one cluster
+	// spanning the full band — how the swarm recovers a region's
+	// extent from collapsed particles.
+	var pts [][2]float64
+	for i := 0; i <= 15; i++ {
+		pts = append(pts, [2]float64{0.3 + 0.02*float64(i), 0.01})
+	}
+	swarm := swarmAt(pts, nil)
+	regions := ClusterRegions(swarm, geom.Unit(1), 0.05)
+	if len(regions) != 1 {
+		t.Fatalf("got %d clusters, want 1", len(regions))
+	}
+	if regions[0].Min[0] > 0.30 || regions[0].Max[0] < 0.60 {
+		t.Errorf("cluster %v does not span the particle band", regions[0])
+	}
+}
+
+func TestClusterRegionsIgnoresInvalid(t *testing.T) {
+	pts := [][2]float64{{0.2, 0.01}, {0.5, 0.01}, {0.8, 0.01}}
+	swarm := swarmAt(pts, map[int]bool{1: true})
+	regions := ClusterRegions(swarm, geom.Unit(1), 0.05)
+	if len(regions) != 2 {
+		t.Fatalf("got %d clusters, want 2 (invalid particle excluded)", len(regions))
+	}
+	for _, r := range regions {
+		c := r.Center()
+		if c[0] > 0.4 && c[0] < 0.6 {
+			t.Errorf("invalid particle leaked into clusters: %v", r)
+		}
+	}
+}
+
+func TestClusterRegionsEmptySwarm(t *testing.T) {
+	swarm := swarmAt([][2]float64{{0.5, 0.1}}, map[int]bool{0: true})
+	if got := ClusterRegions(swarm, geom.Unit(1), 0.05); got != nil {
+		t.Errorf("all-invalid swarm should yield nil, got %v", got)
+	}
+}
+
+func TestClusterRegionsSortedByVolume(t *testing.T) {
+	var pts [][2]float64
+	// Big cluster: wide spread.
+	for x := 0.1; x <= 0.4; x += 0.02 {
+		pts = append(pts, [2]float64{x, 0.01})
+	}
+	// Small cluster: single particle.
+	pts = append(pts, [2]float64{0.9, 0.01})
+	swarm := swarmAt(pts, nil)
+	regions := ClusterRegions(swarm, geom.Unit(1), 0.05)
+	if len(regions) != 2 {
+		t.Fatalf("got %d clusters, want 2", len(regions))
+	}
+	if regions[0].Volume() < regions[1].Volume() {
+		t.Error("clusters not sorted largest-first")
+	}
+}
+
+func TestClusterRegionsDefaultEps(t *testing.T) {
+	pts := [][2]float64{{0.2, 0.01}, {0.23, 0.01}}
+	swarm := swarmAt(pts, nil)
+	// eps <= 0 falls back to 0.05, which merges these.
+	regions := ClusterRegions(swarm, geom.Unit(1), 0)
+	if len(regions) != 1 {
+		t.Fatalf("got %d clusters, want 1 under default eps", len(regions))
+	}
+}
+
+func TestClusterRegionsClipsToDomain(t *testing.T) {
+	pts := [][2]float64{{0.02, 0.1}} // box [−0.08, 0.12] pokes out
+	swarm := swarmAt(pts, nil)
+	regions := ClusterRegions(swarm, geom.Unit(1), 0.05)
+	if len(regions) != 1 {
+		t.Fatal("expected one cluster")
+	}
+	if regions[0].Min[0] < 0 {
+		t.Errorf("cluster %v escapes the domain", regions[0])
+	}
+}

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"surf/internal/geom"
+	"surf/internal/gso"
+	"surf/internal/kde"
+)
+
+// Region is one mined interesting region.
+type Region struct {
+	// Rect is the region in data space, clipped to the domain.
+	Rect geom.Rect
+	// Score is the objective value at the representative particle.
+	Score float64
+	// Estimate is the statistic the finder's StatFn predicted.
+	Estimate float64
+	// Worms is the number of converged particles merged into this
+	// region — a rough confidence signal.
+	Worms int
+	// TrueValue, Support and SatisfiesTrue are filled by Verify.
+	TrueValue     float64
+	Support       int
+	Verified      bool
+	SatisfiesTrue bool
+}
+
+// FindResult is the output of one mining run.
+type FindResult struct {
+	// Regions are the deduplicated interesting regions, best first.
+	Regions []Region
+	// Swarm is the raw optimizer outcome (positions, trace, …).
+	Swarm *gso.Result
+	// ValidFrac is the fraction of particles that ended on valid
+	// (constraint-satisfying) positions — Fig. 1 reports 84%.
+	ValidFrac float64
+	// Elapsed is the wall-clock mining time.
+	Elapsed time.Duration
+}
+
+// FinderConfig configures a mining run.
+type FinderConfig struct {
+	// Threshold is the analyst's yR.
+	Threshold float64
+	// Dir selects Above (f > yR) or Below.
+	Dir Direction
+	// C is the size regularizer (paper default 4).
+	C float64
+	// UseRatio switches to the Eq. 2 objective (default: Eq. 4 log).
+	UseRatio bool
+	// GSO overrides the optimizer parameters. Zero-value fields of
+	// interest: Glowworms=0 applies the paper's L = 50·d rule;
+	// InitRadius=0 applies the r0 heuristic of Section V-G.
+	GSO gso.Params
+	// UseKDE enables the Eq. 8 selection prior (requires the finder
+	// to have been given data points).
+	UseKDE bool
+	// MinSideFrac/MaxSideFrac bound region half-sides as fractions of
+	// the domain extent (defaults 0.01 and 0.15, the training
+	// workload's range).
+	MinSideFrac float64
+	MaxSideFrac float64
+	// DedupeIoU merges converged particles whose boxes overlap at
+	// least this much (default 0.3).
+	DedupeIoU float64
+	// MaxRegions caps the number of returned regions (default 16).
+	MaxRegions int
+}
+
+// withDefaults fills unset fields.
+func (c FinderConfig) withDefaults(dims int) FinderConfig {
+	if c.C == 0 {
+		c.C = 4
+	}
+	if c.GSO.Glowworms == 0 {
+		base := gso.DefaultParams()
+		base.Glowworms = 50 * 2 * dims // paper: L = 50·(region dims)
+		if g := c.GSO; g.MaxIters != 0 {
+			base.MaxIters = g.MaxIters
+		}
+		if g := c.GSO; g.Seed != 0 {
+			base.Seed = g.Seed
+		}
+		c.GSO = base
+	}
+	if c.MinSideFrac == 0 {
+		c.MinSideFrac = 0.01
+	}
+	if c.MaxSideFrac == 0 {
+		c.MaxSideFrac = 0.15
+	}
+	if c.DedupeIoU == 0 {
+		c.DedupeIoU = 0.3
+	}
+	if c.MaxRegions == 0 {
+		c.MaxRegions = 16
+	}
+	return c
+}
+
+// Finder mines interesting regions from a statistic function over a
+// domain. The statistic may be a surrogate (SuRF proper) or the true f
+// (the paper's f+GlowWorm baseline).
+type Finder struct {
+	stat    StatFn
+	domain  geom.Rect
+	density *kde.KDE
+}
+
+// NewFinder builds a finder. The domain is the data-space bounding box
+// regions must stay inside.
+func NewFinder(stat StatFn, domain geom.Rect) (*Finder, error) {
+	if stat == nil {
+		return nil, errors.New("core: nil statistic function")
+	}
+	if domain.Dims() == 0 {
+		return nil, errors.New("core: empty domain")
+	}
+	return &Finder{stat: stat, domain: domain}, nil
+}
+
+// AttachDensity fits the Eq. 8 KDE prior over a sample of data points
+// (rows in domain space). maxSample caps the KDE's retained points.
+func (f *Finder) AttachDensity(points [][]float64, maxSample int, seed uint64) error {
+	rng := rand.New(rand.NewPCG(seed, 0xaef17502108ef2d9))
+	k, err := kde.Fit(points, kde.Options{MaxSample: maxSample, Rng: rng})
+	if err != nil {
+		return err
+	}
+	if k.Dims() != f.domain.Dims() {
+		return fmt.Errorf("core: density of dimension %d for domain of dimension %d", k.Dims(), f.domain.Dims())
+	}
+	f.density = k
+	return nil
+}
+
+// Density exposes the attached KDE (nil when absent).
+func (f *Finder) Density() *kde.KDE { return f.density }
+
+// Find runs the SuRF pipeline: build the objective, run GSO over the
+// [x, l] solution space, then extract, deduplicate and rank the
+// converged regions.
+func (f *Finder) Find(cfg FinderConfig) (*FindResult, error) {
+	dims := f.domain.Dims()
+	cfg = cfg.withDefaults(dims)
+	obj, err := NewObjective(f.stat, ObjectiveConfig{
+		YR: cfg.Threshold, Dir: cfg.Dir, C: cfg.C, UseRatio: cfg.UseRatio,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MinSideFrac <= 0 || cfg.MaxSideFrac < cfg.MinSideFrac {
+		return nil, fmt.Errorf("core: side fractions [%g, %g] invalid", cfg.MinSideFrac, cfg.MaxSideFrac)
+	}
+	space := geom.SolutionSpace(f.domain, cfg.MinSideFrac, cfg.MaxSideFrac)
+
+	// Constraint-violating worms with no neighbours random-walk
+	// instead of freezing, so a swarm that starts entirely outside a
+	// narrow valid basin can still find it (see gso.Options).
+	opts := gso.Options{InvalidWalk: 1}
+	if cfg.UseKDE {
+		if f.density == nil {
+			return nil, errors.New("core: UseKDE set but no density attached (call AttachDensity)")
+		}
+		density := f.density
+		opts.Weight = func(vec []float64) float64 {
+			x, l := geom.DecodeRegion(vec)
+			return density.BoxMass(geom.FromCenter(x, l))
+		}
+	}
+
+	start := time.Now()
+	res, err := gso.Run(cfg.GSO, space, obj, opts)
+	if err != nil {
+		return nil, err
+	}
+	regions := f.extractRegions(res, obj, cfg)
+	valid := 0
+	for _, ok := range res.Valid {
+		if ok {
+			valid++
+		}
+	}
+	return &FindResult{
+		Regions:   regions,
+		Swarm:     res,
+		ValidFrac: float64(valid) / float64(len(res.Valid)),
+		Elapsed:   time.Since(start),
+	}, nil
+}
+
+// extractRegions converts converged valid particles into deduplicated
+// regions: particles are sorted by fitness and greedily clustered by
+// box overlap; each cluster's best particle becomes the
+// representative.
+func (f *Finder) extractRegions(res *gso.Result, obj gso.Objective, cfg FinderConfig) []Region {
+	type cand struct {
+		vec []float64
+		fit float64
+	}
+	var cands []cand
+	for i, pos := range res.Positions {
+		if !res.Valid[i] {
+			continue
+		}
+		// Re-evaluate: positions moved after their last evaluation.
+		fit, ok := obj.Fitness(pos)
+		if !ok || math.IsNaN(fit) {
+			continue
+		}
+		cands = append(cands, cand{vec: pos, fit: fit})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].fit > cands[j].fit })
+
+	var regions []Region
+	for _, c := range cands {
+		x, l := geom.DecodeRegion(c.vec)
+		rect := geom.FromCenter(x, l).Clip(f.domain)
+		merged := false
+		for ri := range regions {
+			if regions[ri].Rect.IoU(rect) >= cfg.DedupeIoU {
+				regions[ri].Worms++
+				merged = true
+				break
+			}
+		}
+		if merged {
+			continue
+		}
+		if len(regions) >= cfg.MaxRegions {
+			continue
+		}
+		regions = append(regions, Region{
+			Rect:     rect,
+			Score:    c.fit,
+			Estimate: f.stat(x, l),
+			Worms:    1,
+		})
+	}
+	return regions
+}
+
+// ClusterRegions summarizes a converged swarm by grouping the valid
+// particles with single-linkage clustering on their region centers
+// (linkage threshold eps, in fractions of the domain extent) and
+// returning each cluster's bounding region — the union extent of the
+// member boxes.
+//
+// This reconstructs the spatial extent of each optimum basin from the
+// swarm: under the size-regularized objective (Eq. 4 with c > 0)
+// individual particles shrink toward the smallest acceptable boxes,
+// but collectively they carpet the whole interesting region (visible
+// in the paper's Fig. 1, where the converged particles line the
+// bottom of each peak). Clusters are returned largest-first.
+func ClusterRegions(swarm *gso.Result, domain geom.Rect, eps float64) []geom.Rect {
+	if eps <= 0 {
+		eps = 0.05
+	}
+	d := domain.Dims()
+	var centers [][]float64
+	var rects []geom.Rect
+	for i, pos := range swarm.Positions {
+		if !swarm.Valid[i] {
+			continue
+		}
+		x, l := geom.DecodeRegion(pos)
+		centers = append(centers, x)
+		rects = append(rects, geom.FromCenter(x, l).Clip(domain))
+	}
+	if len(rects) == 0 {
+		return nil
+	}
+	// Normalized center distance threshold.
+	scale := make([]float64, d)
+	for j := 0; j < d; j++ {
+		extent := domain.Max[j] - domain.Min[j]
+		if extent <= 0 {
+			extent = 1
+		}
+		scale[j] = 1 / extent
+	}
+	near := func(a, b []float64) bool {
+		var sum float64
+		for j := 0; j < d; j++ {
+			dd := (a[j] - b[j]) * scale[j]
+			sum += dd * dd
+		}
+		return math.Sqrt(sum) <= eps
+	}
+	// Single-linkage via union-find.
+	parent := make([]int, len(rects))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		if parent[i] != i {
+			parent[i] = find(parent[i])
+		}
+		return parent[i]
+	}
+	for i := 0; i < len(rects); i++ {
+		for j := i + 1; j < len(rects); j++ {
+			if near(centers[i], centers[j]) {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	groups := map[int][]int{}
+	for i := range rects {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	var out []geom.Rect
+	for _, members := range groups {
+		box := rects[members[0]].Clone()
+		for _, m := range members[1:] {
+			r := rects[m]
+			for j := 0; j < d; j++ {
+				box.Min[j] = math.Min(box.Min[j], r.Min[j])
+				box.Max[j] = math.Max(box.Max[j], r.Max[j])
+			}
+		}
+		out = append(out, box)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Volume() > out[j].Volume() })
+	return out
+}
+
+// Verify re-evaluates mined regions against the true statistic
+// function (e.g. a dataset evaluator) and records whether each region
+// truly satisfies the constraint — the paper's Fig. 5 check where 100%
+// of proposed regions complied with f(x, l) > yR. It returns the
+// compliant fraction.
+func Verify(regions []Region, trueFn StatFn, cfg ObjectiveConfig) (float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	if trueFn == nil {
+		return 0, errors.New("core: nil true statistic function")
+	}
+	if len(regions) == 0 {
+		return 0, nil
+	}
+	ok := 0
+	for i := range regions {
+		r := &regions[i]
+		y := trueFn(r.Rect.Center(), r.Rect.HalfSides())
+		r.TrueValue = y
+		r.Verified = true
+		r.SatisfiesTrue = cfg.Satisfies(y)
+		if r.SatisfiesTrue {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(regions)), nil
+}

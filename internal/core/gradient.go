@@ -1,0 +1,86 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+
+	"surf/internal/geom"
+)
+
+// GradientFidelity estimates the paper's Eq. 9 model-selection
+// criterion E[‖∇f̂ − ∇f‖₂]: how closely the surrogate's *gradient
+// field* over the region space tracks the true function's. The paper
+// leaves minimizing this directly as future work (Section IV), noting
+// that a surrogate only needs to follow f's *trend* — agree on which
+// side of yR a region falls — rather than minimize pointwise error.
+// This estimator makes the criterion measurable for any pair of
+// statistic functions, so alternative surrogate families can be
+// compared on trend fidelity rather than RMSE alone.
+//
+// Gradients are taken by central finite differences with step h
+// (in fractions of each dimension's extent) at sample regions drawn
+// uniformly from the solution space; sampling is deterministic in
+// seed. Samples where f is undefined (NaN) at any stencil point are
+// skipped; the estimate is NaN if every sample was skipped.
+func GradientFidelity(fhat, f StatFn, space geom.Rect, samples int, h float64, seed uint64) (float64, error) {
+	if fhat == nil || f == nil {
+		return 0, errors.New("core: GradientFidelity requires both functions")
+	}
+	if space.Dims() == 0 || space.Dims()%2 != 0 {
+		return 0, errors.New("core: GradientFidelity needs an even-dimensional [x,l] solution space")
+	}
+	if samples < 1 {
+		return 0, errors.New("core: GradientFidelity needs at least one sample")
+	}
+	if h <= 0 || h >= 0.5 {
+		return 0, errors.New("core: GradientFidelity step h out of (0, 0.5)")
+	}
+	rng := rand.New(rand.NewPCG(seed, 0xbf58476d1ce4e5b9))
+	n := space.Dims()
+
+	eval := func(fn StatFn, vec []float64) float64 {
+		x, l := geom.DecodeRegion(vec)
+		return fn(x, l)
+	}
+
+	var sum float64
+	used := 0
+	vec := make([]float64, n)
+	probe := make([]float64, n)
+	for s := 0; s < samples; s++ {
+		for j := 0; j < n; j++ {
+			vec[j] = space.Min[j] + rng.Float64()*(space.Max[j]-space.Min[j])
+		}
+		var norm2 float64
+		ok := true
+		for j := 0; j < n && ok; j++ {
+			step := h * (space.Max[j] - space.Min[j])
+			if step == 0 {
+				continue
+			}
+			copy(probe, vec)
+			probe[j] = math.Min(vec[j]+step, space.Max[j])
+			fhHi, fHi := eval(fhat, probe), eval(f, probe)
+			hi := probe[j]
+			probe[j] = math.Max(vec[j]-step, space.Min[j])
+			fhLo, fLo := eval(fhat, probe), eval(f, probe)
+			span := hi - probe[j]
+			if span == 0 || math.IsNaN(fHi) || math.IsNaN(fLo) || math.IsNaN(fhHi) || math.IsNaN(fhLo) {
+				ok = false
+				break
+			}
+			d := (fhHi-fhLo)/span - (fHi-fLo)/span
+			norm2 += d * d
+		}
+		if !ok {
+			continue
+		}
+		sum += math.Sqrt(norm2)
+		used++
+	}
+	if used == 0 {
+		return math.NaN(), nil
+	}
+	return sum / float64(used), nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"surf/internal/geom"
+)
+
+func linearStat(slope float64) StatFn {
+	return func(x, l []float64) float64 {
+		var s float64
+		for _, v := range x {
+			s += slope * v
+		}
+		for _, v := range l {
+			s += slope * v
+		}
+		return s
+	}
+}
+
+func TestGradientFidelityIdenticalFunctions(t *testing.T) {
+	f := linearStat(3)
+	space := geom.SolutionSpace(geom.Unit(2), 0.01, 0.15)
+	got, err := GradientFidelity(f, f, space, 50, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 1e-9 {
+		t.Errorf("identical functions should have zero gradient gap, got %g", got)
+	}
+}
+
+func TestGradientFidelityKnownGap(t *testing.T) {
+	// f has slope 3 in all 4 solution dims, fhat slope 5: the
+	// gradient difference is the constant vector (2,2,2,2), norm 4.
+	f := linearStat(3)
+	fhat := linearStat(5)
+	space := geom.SolutionSpace(geom.Unit(2), 0.01, 0.15)
+	got, err := GradientFidelity(fhat, f, space, 100, 0.01, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-4) > 1e-6 {
+		t.Errorf("gradient gap = %g, want 4", got)
+	}
+}
+
+func TestGradientFidelityOrdersModels(t *testing.T) {
+	// A closer slope should score a smaller gap.
+	f := linearStat(3)
+	space := geom.SolutionSpace(geom.Unit(1), 0.01, 0.15)
+	close, err := GradientFidelity(linearStat(3.5), f, space, 100, 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := GradientFidelity(linearStat(8), f, space, 100, 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if close >= far {
+		t.Errorf("closer model gap %g not below farther %g", close, far)
+	}
+}
+
+func TestGradientFidelitySkipsUndefined(t *testing.T) {
+	f := linearStat(1)
+	// fhat undefined on half the space.
+	fhat := func(x, l []float64) float64 {
+		if x[0] < 0.5 {
+			return math.NaN()
+		}
+		return x[0]
+	}
+	space := geom.SolutionSpace(geom.Unit(1), 0.01, 0.15)
+	got, err := GradientFidelity(fhat, f, space, 200, 0.01, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(got) {
+		t.Error("some samples are defined; estimate should not be NaN")
+	}
+	// Entirely undefined: NaN result, no error.
+	allNaN := func(x, l []float64) float64 { return math.NaN() }
+	got, err = GradientFidelity(allNaN, f, space, 50, 0.01, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got) {
+		t.Errorf("all-undefined estimate = %g, want NaN", got)
+	}
+}
+
+func TestGradientFidelityValidation(t *testing.T) {
+	f := linearStat(1)
+	space := geom.SolutionSpace(geom.Unit(1), 0.01, 0.15)
+	if _, err := GradientFidelity(nil, f, space, 10, 0.01, 1); err == nil {
+		t.Error("expected error for nil fhat")
+	}
+	if _, err := GradientFidelity(f, f, geom.Unit(3), 10, 0.01, 1); err == nil {
+		t.Error("expected error for odd-dimensional space")
+	}
+	if _, err := GradientFidelity(f, f, space, 0, 0.01, 1); err == nil {
+		t.Error("expected error for zero samples")
+	}
+	if _, err := GradientFidelity(f, f, space, 10, 0, 1); err == nil {
+		t.Error("expected error for zero step")
+	}
+	if _, err := GradientFidelity(f, f, space, 10, 0.7, 1); err == nil {
+		t.Error("expected error for oversized step")
+	}
+}
+
+func TestGradientFidelityDeterministic(t *testing.T) {
+	f := linearStat(2)
+	fhat := linearStat(2.5)
+	space := geom.SolutionSpace(geom.Unit(2), 0.01, 0.15)
+	a, _ := GradientFidelity(fhat, f, space, 60, 0.02, 9)
+	b, _ := GradientFidelity(fhat, f, space, 60, 0.02, 9)
+	if a != b {
+		t.Error("same seed should reproduce")
+	}
+	c, _ := GradientFidelity(fhat, f, space, 60, 0.02, 10)
+	if a == c {
+		t.Error("different seeds should differ")
+	}
+}

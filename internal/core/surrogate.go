@@ -1,0 +1,133 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+
+	"surf/internal/dataset"
+	"surf/internal/gbt"
+	"surf/internal/ml"
+)
+
+// Surrogate is the trained model f̂ approximating the back-end
+// statistic function f from past region evaluations (paper Section
+// IV). It consumes the (2d)-dimensional [x, l] encoding.
+type Surrogate struct {
+	model *gbt.Model
+	dims  int
+}
+
+// ErrEmptyLog reports training on an empty query log.
+var ErrEmptyLog = errors.New("core: empty query log")
+
+// TrainSurrogate fits a boosted-tree surrogate on a query log with
+// fixed hyper-parameters (the paper's Hypertuning=False mode).
+func TrainSurrogate(log dataset.QueryLog, params gbt.Params) (*Surrogate, error) {
+	if len(log) == 0 {
+		return nil, ErrEmptyLog
+	}
+	X, y := log.Features()
+	model, err := gbt.Train(params, X, y, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Surrogate{model: model, dims: len(log[0].X)}, nil
+}
+
+// TuneResult reports the hyper-parameter search outcome.
+type TuneResult struct {
+	// Best is the winning assignment and its CV score.
+	Best ml.SearchResult
+	// All holds every grid point's score.
+	All []ml.SearchResult
+}
+
+// TrainSurrogateCV grid-searches the hyper-parameters with k-fold
+// cross validation before fitting on the full log (the paper's
+// GridSearchCV mode, Section V-E). A nil grid uses the paper's
+// 144-combination grid.
+func TrainSurrogateCV(log dataset.QueryLog, base gbt.Params, grid ml.Grid, folds int, seed uint64) (*Surrogate, *TuneResult, error) {
+	if len(log) == 0 {
+		return nil, nil, ErrEmptyLog
+	}
+	if grid == nil {
+		grid = ml.GBTGrid()
+	}
+	if folds < 2 {
+		folds = 3
+	}
+	X, y := log.Features()
+	rng := rand.New(rand.NewPCG(seed, 0xd1342543de82ef95))
+	factory := ml.GBTFactory(base)
+	best, all, err := ml.GridSearchCV(factory, grid, X, y, folds, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	reg, err := factory(best.Params)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := reg.Fit(X, y); err != nil {
+		return nil, nil, err
+	}
+	model := reg.(*ml.GBTRegressor).Model()
+	return &Surrogate{model: model, dims: len(log[0].X)},
+		&TuneResult{Best: best, All: all}, nil
+}
+
+// Dims returns the data dimensionality d (the model consumes 2d
+// features).
+func (s *Surrogate) Dims() int { return s.dims }
+
+// Model exposes the underlying ensemble.
+func (s *Surrogate) Model() *gbt.Model { return s.model }
+
+// Predict estimates the statistic for a region.
+func (s *Surrogate) Predict(x, l []float64) float64 {
+	if len(x) != s.dims || len(l) != s.dims {
+		panic(fmt.Sprintf("core: Predict with %d+%d coords for %d-dim surrogate", len(x), len(l), s.dims))
+	}
+	row := make([]float64, 0, 2*s.dims)
+	row = append(row, x...)
+	row = append(row, l...)
+	return s.model.Predict1(row)
+}
+
+// StatFn adapts the surrogate to the objective's StatFn type.
+func (s *Surrogate) StatFn() StatFn {
+	return func(x, l []float64) float64 { return s.Predict(x, l) }
+}
+
+// gobSurrogate is the wire form.
+type gobSurrogate struct {
+	Dims int
+}
+
+// Save writes the surrogate (dimensionality header + model).
+func (s *Surrogate) Save(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "surfmodel %d\n", s.dims); err != nil {
+		return err
+	}
+	return s.model.Save(w)
+}
+
+// LoadSurrogate reads a surrogate written by Save.
+func LoadSurrogate(r io.Reader) (*Surrogate, error) {
+	var dims int
+	if _, err := fmt.Fscanf(r, "surfmodel %d\n", &dims); err != nil {
+		return nil, fmt.Errorf("core: bad surrogate header: %w", err)
+	}
+	if dims < 1 {
+		return nil, fmt.Errorf("core: surrogate header dims %d", dims)
+	}
+	model, err := gbt.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	if model.NumFeatures() != 2*dims {
+		return nil, fmt.Errorf("core: model has %d features, header says %d dims", model.NumFeatures(), dims)
+	}
+	return &Surrogate{model: model, dims: dims}, nil
+}

@@ -1,0 +1,127 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"surf/internal/stats"
+)
+
+func writeBinaryFile(t *testing.T, d *Dataset) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := d.WriteBinary(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiskScanMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	d := randomDataset(rng, 3000, 2)
+	path := writeBinaryFile(t, d)
+	kinds := []stats.Kind{stats.Count, stats.Sum, stats.Mean, stats.Min, stats.Max, stats.Median, stats.Variance, stats.Ratio}
+	for _, kind := range kinds {
+		spec := Spec{FilterCols: []int{0, 1}, Stat: kind, TargetCol: 2}
+		mem, err := NewLinearScan(d, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A small chunk size forces multiple reads per evaluation.
+		disk, err := NewDiskScan(path, spec, 257)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if disk.Len() != d.Len() || disk.Dims() != 2 {
+			t.Fatalf("disk shape %d/%d", disk.Len(), disk.Dims())
+		}
+		for trial := 0; trial < 25; trial++ {
+			r := randomRegion(rng, 2)
+			ym, nm := mem.Evaluate(r)
+			yd, nd := disk.Evaluate(r)
+			if nm != nd {
+				t.Fatalf("%v: mem n=%d disk n=%d", kind, nm, nd)
+			}
+			if math.IsNaN(ym) != math.IsNaN(yd) {
+				t.Fatalf("%v: mem y=%g disk y=%g", kind, ym, yd)
+			}
+			if !math.IsNaN(ym) && math.Abs(ym-yd) > 1e-9*math.Max(1, math.Abs(ym)) {
+				t.Fatalf("%v: mem y=%g disk y=%g", kind, ym, yd)
+			}
+		}
+	}
+}
+
+func TestDiskScanNamesPreserved(t *testing.T) {
+	d := toyDataset()
+	path := writeBinaryFile(t, d)
+	disk, err := NewDiskScan(path, Spec{FilterCols: []int{0, 1}, Stat: stats.Count}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := disk.Names()
+	if names[0] != "a1" || names[2] != "val" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestDiskScanRejectsBadFile(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.bin")
+	if err := os.WriteFile(bad, []byte("not a surf file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDiskScan(bad, Spec{FilterCols: []int{0}, Stat: stats.Count}, 0); err == nil {
+		t.Error("expected error for bad magic")
+	}
+	if _, err := NewDiskScan(filepath.Join(dir, "missing.bin"), Spec{FilterCols: []int{0}, Stat: stats.Count}, 0); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestDiskScanValidatesSpec(t *testing.T) {
+	d := toyDataset()
+	path := writeBinaryFile(t, d)
+	if _, err := NewDiskScan(path, Spec{FilterCols: []int{9}, Stat: stats.Count}, 0); err == nil {
+		t.Error("expected error for out-of-range filter column")
+	}
+}
+
+func TestWriteBinaryRoundTripHeader(t *testing.T) {
+	d := toyDataset()
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Header carries magic + row/col counts.
+	if got := buf.Bytes()[:8]; string(got) != diskMagic {
+		t.Errorf("magic = %q", got)
+	}
+	// Payload is header + names + 8 bytes per cell.
+	want := 8 + 16 + (1+2)*2 + (1 + 3) + d.Len()*d.NumCols()*8
+	if buf.Len() != want {
+		t.Errorf("binary size = %d, want %d", buf.Len(), want)
+	}
+}
+
+func TestDiskScanEmptyRegion(t *testing.T) {
+	d := toyDataset()
+	path := writeBinaryFile(t, d)
+	disk, err := NewDiskScan(path, Spec{FilterCols: []int{0, 1}, Stat: stats.Mean, TargetCol: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, n := disk.Evaluate(randomRegion(rand.New(rand.NewSource(1)), 2).Expand(-10))
+	if !math.IsNaN(y) || n != 0 {
+		t.Errorf("empty-region mean = %g (n=%d), want NaN (0)", y, n)
+	}
+}

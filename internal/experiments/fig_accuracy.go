@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"surf/internal/stats"
+	"surf/internal/synth"
+)
+
+// methodResult is one (dataset, method) accuracy cell.
+type methodResult struct {
+	stat   synth.StatType
+	k      int
+	dims   int
+	method string
+	iou    float64
+}
+
+// accuracyMethods runs the four methods of paper Fig. 3 on one
+// dataset.
+func accuracyMethods(ds *synth.Dataset, scale Scale, seed uint64) ([]methodResult, error) {
+	budget := 2 * time.Second
+	if scale == Full {
+		budget = 60 * time.Second
+	}
+	var out []methodResult
+	add := func(method string, iou float64) {
+		out = append(out, methodResult{
+			stat: ds.Config.Stat, k: ds.Config.Regions, dims: ds.Config.Dims,
+			method: method, iou: iou,
+		})
+	}
+
+	surfRegions, _, err := runSuRF(ds, scale, seed)
+	if err != nil {
+		return nil, fmt.Errorf("surf on %s d=%d k=%d: %w", ds.Config.Stat, ds.Config.Dims, ds.Config.Regions, err)
+	}
+	add("SuRF", meanIoUPerGT(surfRegions, ds.GT))
+
+	fgwRegions, _, err := runFGlowWorm(ds, scale, seed)
+	if err != nil {
+		return nil, fmt.Errorf("f+glowworm: %w", err)
+	}
+	add("f+GlowWorm", meanIoUPerGT(fgwRegions, ds.GT))
+
+	naiveRegions, _, err := runNaive(ds, scale, budget)
+	if err != nil {
+		return nil, fmt.Errorf("naive: %w", err)
+	}
+	add("Naive", meanIoUPerGT(naiveRegions, ds.GT))
+
+	primRegions, _, err := runPRIM(ds)
+	if err != nil {
+		return nil, fmt.Errorf("prim: %w", err)
+	}
+	add("PRIM", meanIoUPerGT(primRegions, ds.GT))
+
+	return out, nil
+}
+
+// accuracySuite runs the paper's 20 synthetic datasets (or the small
+// subset at bench scale) through all four methods.
+func accuracySuite(scale Scale) ([]methodResult, error) {
+	maxDims := 5
+	if scale == Small {
+		maxDims = 3
+	}
+	var all []methodResult
+	for _, cfg := range synth.PaperSuite(3) {
+		if cfg.Dims > maxDims {
+			continue
+		}
+		if scale == Small {
+			cfg.N = 4000 + cfg.N%2000
+		}
+		ds, err := synth.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := accuracyMethods(ds, scale, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, res...)
+	}
+	return all, nil
+}
+
+// Fig3IoU reproduces paper Fig. 3: average IoU against the planted
+// ground truth for SuRF, Naive, PRIM and f+GlowWorm over d, split by
+// statistic type and region count.
+func Fig3IoU(scale Scale) (*Report, error) {
+	all, err := accuracySuite(scale)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Name: "fig3"}
+	t := &Table{
+		Name:   "iou",
+		Title:  "Fig 3: mean IoU vs dimensionality per method",
+		Header: []string{"stat", "k", "dims", "method", "iou"},
+	}
+	for _, r := range all {
+		t.AddRow(r.stat.String(), r.k, r.dims, r.method, r.iou)
+	}
+	rep.Tables = append(rep.Tables, t)
+
+	// Shape notes mirroring the paper's findings.
+	surfVsFGW := pairedGap(all, "SuRF", "f+GlowWorm")
+	rep.Notef("mean |IoU(SuRF) − IoU(f+GlowWorm)| = %.3f — the surrogate substitution costs little accuracy (paper: 'identical')", surfVsFGW)
+	primDensity := methodMean(all, "PRIM", func(r methodResult) bool { return r.stat == synth.Density })
+	primAggregate := methodMean(all, "PRIM", func(r methodResult) bool { return r.stat == synth.Aggregate })
+	rep.Notef("PRIM mean IoU: aggregate %.3f vs density %.3f — PRIM cannot express density interestingness (paper Section V-B)", primAggregate, primDensity)
+	return rep, nil
+}
+
+// Fig4Grouped reproduces paper Fig. 4: IoU mean ± std grouped by the
+// number of GT regions (left panel) and by statistic type (right
+// panel).
+func Fig4Grouped(scale Scale) (*Report, error) {
+	all, err := accuracySuite(scale)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Name: "fig4"}
+
+	byK := &Table{
+		Name:   "by_regions",
+		Title:  "Fig 4 (left): IoU by number of GT regions",
+		Header: []string{"method", "k", "mean_iou", "std_iou"},
+	}
+	byStat := &Table{
+		Name:   "by_stat",
+		Title:  "Fig 4 (right): IoU by statistic type",
+		Header: []string{"method", "stat", "mean_iou", "std_iou"},
+	}
+	methods := []string{"SuRF", "Naive", "PRIM", "f+GlowWorm"}
+	for _, m := range methods {
+		for _, k := range []int{1, 3} {
+			vals := collect(all, m, func(r methodResult) bool { return r.k == k })
+			byK.AddRow(m, k, stats.MeanOf(vals), stats.StdDevOf(vals))
+		}
+		for _, st := range []synth.StatType{synth.Aggregate, synth.Density} {
+			vals := collect(all, m, func(r methodResult) bool { return r.stat == st })
+			byStat.AddRow(m, st.String(), stats.MeanOf(vals), stats.StdDevOf(vals))
+		}
+	}
+	rep.Tables = append(rep.Tables, byK, byStat)
+	return rep, nil
+}
+
+func collect(all []methodResult, method string, pred func(methodResult) bool) []float64 {
+	var vals []float64
+	for _, r := range all {
+		if r.method == method && pred(r) {
+			vals = append(vals, r.iou)
+		}
+	}
+	return vals
+}
+
+func methodMean(all []methodResult, method string, pred func(methodResult) bool) float64 {
+	return stats.MeanOf(collect(all, method, pred))
+}
+
+// pairedGap computes the mean absolute IoU difference between two
+// methods on matched datasets.
+func pairedGap(all []methodResult, m1, m2 string) float64 {
+	type key struct {
+		stat synth.StatType
+		k, d int
+	}
+	v1 := map[key]float64{}
+	v2 := map[key]float64{}
+	for _, r := range all {
+		k := key{r.stat, r.k, r.dims}
+		switch r.method {
+		case m1:
+			v1[k] = r.iou
+		case m2:
+			v2[k] = r.iou
+		}
+	}
+	var diffs []float64
+	for k, a := range v1 {
+		if b, ok := v2[k]; ok {
+			d := a - b
+			if d < 0 {
+				d = -d
+			}
+			diffs = append(diffs, d)
+		}
+	}
+	return stats.MeanOf(diffs)
+}

@@ -1,0 +1,218 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section V). Each experiment is a function from a
+// Scale (paper-sized or bench-sized inputs) to a Report of named
+// tables whose rows mirror what the paper plots. cmd/surf-bench runs
+// them from the command line; bench_test.go wraps them as Go
+// benchmarks.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Scale selects experiment sizes.
+type Scale int
+
+const (
+	// Small runs in seconds per experiment — for tests, benches and
+	// smoke runs. Shapes (who wins, trends) are preserved; absolute
+	// numbers shrink.
+	Small Scale = iota
+	// Full approaches the paper's sizes. Some cells take minutes.
+	Full
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "small"
+}
+
+// Table is one result table/series.
+type Table struct {
+	// Name is a short identifier (used as the CSV file name).
+	Name string
+	// Title describes the table for human readers.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows hold the data, formatted as strings.
+	Rows [][]string
+}
+
+// AddRow appends a row built from arbitrary values (floats formatted
+// with %g, everything else with %v).
+func (t *Table) AddRow(vals ...any) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			if math.IsNaN(x) {
+				row[i] = "NaN"
+			} else {
+				row[i] = fmt.Sprintf("%.6g", x)
+			}
+		case string:
+			row[i] = x
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes an aligned text rendition.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV writes the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Report is one experiment's output.
+type Report struct {
+	// Name is the experiment id (fig1, tab1, …).
+	Name string
+	// Tables hold the regenerated series.
+	Tables []*Table
+	// Notes carry free-form observations (e.g. "84% of particles
+	// converged to valid regions").
+	Notes []string
+}
+
+// Notef appends a formatted note.
+func (r *Report) Notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes every table plus notes as text.
+func (r *Report) Render(w io.Writer) error {
+	fmt.Fprintf(w, "### experiment %s ###\n", r.Name)
+	for _, t := range r.Tables {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	return nil
+}
+
+// SaveCSVs writes each table to dir/<report>_<table>.csv.
+func (r *Report) SaveCSVs(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, t := range r.Tables {
+		path := filepath.Join(dir, fmt.Sprintf("%s_%s.csv", r.Name, t.Name))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Runner is a named experiment.
+type Runner struct {
+	// ID is the experiment identifier (fig3, tab1, …).
+	ID string
+	// Description summarizes what the experiment regenerates.
+	Description string
+	// Run executes the experiment.
+	Run func(Scale) (*Report, error)
+}
+
+// All returns every experiment in presentation order.
+func All() []Runner {
+	return []Runner{
+		{"fig1", "final GSO particle positions in the 2-dim region space (paper Fig. 1)", Fig1Convergence},
+		{"fig2", "synthetic ground-truth dataset summaries (paper Fig. 2)", Fig2Datasets},
+		{"fig3", "mean IoU vs dimensionality for SuRF/Naive/PRIM/f+GlowWorm (paper Fig. 3)", Fig3IoU},
+		{"fig4", "IoU grouped by region count and statistic type (paper Fig. 4)", Fig4Grouped},
+		{"fig5", "crimes qualitative study: surrogate vs true density (paper Fig. 5)", Fig5Crimes},
+		{"har", "human-activity qualitative study: rare high-ratio regions (paper §V-C)", HARStudy},
+		{"tab1", "comparative wall-clock times across d and N (paper Table I)", Tab1Comparative},
+		{"fig6", "surrogate training overhead vs number of queries (paper Fig. 6)", Fig6Training},
+		{"fig7", "objective landscapes: Eq. 4 log form vs Eq. 2 ratio form (paper Fig. 7)", Fig7Objectives},
+		{"fig8", "sensitivity of viable solutions to parameter c (paper Fig. 8)", Fig8Sensitivity},
+		{"fig9", "GSO convergence rate across dimensions and k (paper Fig. 9)", Fig9Convergence},
+		{"fig10", "GSO runtime scaling in glowworms and iterations (paper Fig. 10)", Fig10GSOScaling},
+		{"fig11", "IoU–RMSE correlation and RMSE vs training examples (paper Fig. 11)", Fig11Surrogate},
+		{"fig12", "surrogate complexity: RMSE and IoU vs max tree depth (paper Fig. 12)", Fig12Complexity},
+		{"ablation", "design-choice ablations: KDE prior, PSO vs GSO, grid index, histogram bins", Ablations},
+	}
+}
+
+// ByID returns the runner with the given id.
+func ByID(id string) (Runner, bool) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}

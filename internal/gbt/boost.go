@@ -1,0 +1,221 @@
+package gbt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Model is a trained gradient-boosted tree ensemble approximating
+// y ≈ f̂(x). It is safe for concurrent prediction after training.
+type Model struct {
+	params    Params
+	baseScore float64
+	trees     []*tree
+	nfeat     int
+	// evalHistory records validation RMSE per round when a validation
+	// set is supplied; used by the Fig. 12 complexity study.
+	evalHistory []float64
+	bestRound   int
+}
+
+// ErrNotTrained reports prediction on an unfit model.
+var ErrNotTrained = errors.New("gbt: model not trained")
+
+// Train fits an ensemble to X (rows × features) and y. valX/valY are
+// an optional validation split for early stopping and eval history;
+// pass nil to disable.
+func Train(p Params, X [][]float64, y []float64, valX [][]float64, valY []float64) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(X) == 0 {
+		return nil, errors.New("gbt: empty training set")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("gbt: %d rows but %d labels", len(X), len(y))
+	}
+	nfeat := len(X[0])
+	if nfeat == 0 {
+		return nil, errors.New("gbt: zero features")
+	}
+	if (valX == nil) != (valY == nil) || len(valX) != len(valY) {
+		return nil, errors.New("gbt: validation features and labels must match")
+	}
+	if p.EarlyStopping > 0 && len(valX) == 0 {
+		return nil, errors.New("gbt: early stopping requires a validation set")
+	}
+
+	m := &Model{params: p, nfeat: nfeat}
+	m.baseScore = mean(y)
+
+	bnr := newBinner(X, p.MaxBins)
+	bins := bnr.binMatrix(X)
+	n := len(X)
+
+	pred := make([]float64, n)
+	for i := range pred {
+		pred[i] = m.baseScore
+	}
+	valPred := make([]float64, len(valX))
+	for i := range valPred {
+		valPred[i] = m.baseScore
+	}
+
+	grad := make([]float64, n)
+	hess := make([]float64, n)
+	rng := rand.New(rand.NewPCG(p.Seed, 0x9e3779b97f4a7c15))
+
+	allRows := make([]int32, n)
+	for i := range allRows {
+		allRows[i] = int32(i)
+	}
+	allCols := make([]int, nfeat)
+	for j := range allCols {
+		allCols[j] = j
+	}
+
+	bestRMSE := math.Inf(1)
+	sinceBest := 0
+	m.bestRound = -1
+
+	for round := 0; round < p.NumTrees; round++ {
+		// Squared loss: g = ŷ − y, h = 1.
+		for i := 0; i < n; i++ {
+			grad[i] = pred[i] - y[i]
+			hess[i] = 1
+		}
+		rows := allRows
+		if p.Subsample < 1 {
+			k := int(math.Ceil(p.Subsample * float64(n)))
+			if k < 1 {
+				k = 1
+			}
+			rows = sampleInt32(rng, n, k)
+		}
+		cols := allCols
+		if p.ColSample < 1 {
+			k := int(math.Ceil(p.ColSample * float64(nfeat)))
+			if k < 1 {
+				k = 1
+			}
+			perm := rng.Perm(nfeat)[:k]
+			cols = perm
+		}
+		tb := &treeBuilder{p: p, binner: bnr, bins: bins, nfeat: nfeat, grad: grad, hess: hess, cols: cols}
+		t := tb.build(rows)
+		m.trees = append(m.trees, t)
+		for i := 0; i < n; i++ {
+			pred[i] += t.predict(X[i])
+		}
+		if len(valX) > 0 {
+			var sum float64
+			for i := range valX {
+				valPred[i] += t.predict(valX[i])
+				d := valPred[i] - valY[i]
+				sum += d * d
+			}
+			rmse := math.Sqrt(sum / float64(len(valX)))
+			m.evalHistory = append(m.evalHistory, rmse)
+			if rmse < bestRMSE-1e-12 {
+				bestRMSE = rmse
+				m.bestRound = round
+				sinceBest = 0
+			} else {
+				sinceBest++
+				if p.EarlyStopping > 0 && sinceBest >= p.EarlyStopping {
+					m.trees = m.trees[:m.bestRound+1]
+					m.evalHistory = m.evalHistory[:m.bestRound+1]
+					break
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// NumFeatures returns the feature dimensionality the model expects.
+func (m *Model) NumFeatures() int { return m.nfeat }
+
+// NumTrees returns the number of trees in the trained ensemble (may be
+// fewer than Params.NumTrees under early stopping).
+func (m *Model) NumTrees() int { return len(m.trees) }
+
+// Params returns the training parameters.
+func (m *Model) Params() Params { return m.params }
+
+// EvalHistory returns the validation RMSE per round (nil without a
+// validation set).
+func (m *Model) EvalHistory() []float64 {
+	return append([]float64(nil), m.evalHistory...)
+}
+
+// BestRound returns the round with the lowest validation RMSE, or −1
+// without a validation set.
+func (m *Model) BestRound() int { return m.bestRound }
+
+// Predict1 returns the prediction for a single raw feature row.
+func (m *Model) Predict1(row []float64) float64 {
+	if len(row) != m.nfeat {
+		panic(fmt.Sprintf("gbt: Predict1 row of dimension %d, want %d", len(row), m.nfeat))
+	}
+	out := m.baseScore
+	for _, t := range m.trees {
+		out += t.predict(row)
+	}
+	return out
+}
+
+// Predict returns predictions for a matrix of raw feature rows.
+func (m *Model) Predict(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, row := range X {
+		out[i] = m.Predict1(row)
+	}
+	return out
+}
+
+// FeatureImportance returns per-feature total split gain, normalized
+// to sum to 1 (all zeros when the ensemble made no splits).
+func (m *Model) FeatureImportance() []float64 {
+	imp := make([]float64, m.nfeat)
+	var total float64
+	for _, t := range m.trees {
+		for i := range t.Nodes {
+			nd := &t.Nodes[i]
+			if nd.Feature != leafMarker {
+				imp[nd.Feature] += nd.Gain
+				total += nd.Gain
+			}
+		}
+	}
+	if total > 0 {
+		for j := range imp {
+			imp[j] /= total
+		}
+	}
+	return imp
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// sampleInt32 draws k distinct values from [0, n) via partial
+// Fisher-Yates.
+func sampleInt32(rng *rand.Rand, n, k int) []int32 {
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.IntN(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k]
+}

@@ -1,0 +1,75 @@
+package gbt
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+)
+
+// ContinueTraining boosts extra rounds on top of an already-trained
+// ensemble using (possibly new) data, supporting the paper's
+// deployment where a surrogate is trained once and then kept fresh as
+// more region evaluations arrive (Section V-D) without a full
+// retrain. The new trees fit the residuals of the current ensemble on
+// the provided data; features are re-binned from the new matrix.
+func (m *Model) ContinueTraining(extra int, X [][]float64, y []float64) error {
+	if len(m.trees) == 0 && m.nfeat == 0 {
+		return ErrNotTrained
+	}
+	if extra < 1 {
+		return errors.New("gbt: extra rounds must be >= 1")
+	}
+	if len(X) == 0 {
+		return errors.New("gbt: empty continuation set")
+	}
+	if len(X) != len(y) {
+		return fmt.Errorf("gbt: %d rows but %d labels", len(X), len(y))
+	}
+	for i, row := range X {
+		if len(row) != m.nfeat {
+			return fmt.Errorf("gbt: row %d has %d features, want %d", i, len(row), m.nfeat)
+		}
+	}
+	p := m.params
+	bnr := newBinner(X, p.MaxBins)
+	bins := bnr.binMatrix(X)
+	n := len(X)
+
+	pred := m.Predict(X)
+	grad := make([]float64, n)
+	hess := make([]float64, n)
+	rng := rand.New(rand.NewPCG(p.Seed^0x5851f42d4c957f2d, uint64(len(m.trees))))
+
+	allRows := make([]int32, n)
+	for i := range allRows {
+		allRows[i] = int32(i)
+	}
+	allCols := make([]int, m.nfeat)
+	for j := range allCols {
+		allCols[j] = j
+	}
+
+	for round := 0; round < extra; round++ {
+		for i := 0; i < n; i++ {
+			grad[i] = pred[i] - y[i]
+			hess[i] = 1
+		}
+		rows := allRows
+		if p.Subsample < 1 {
+			k := max(1, int(p.Subsample*float64(n)))
+			rows = sampleInt32(rng, n, k)
+		}
+		cols := allCols
+		if p.ColSample < 1 {
+			k := max(1, int(p.ColSample*float64(m.nfeat)))
+			cols = rng.Perm(m.nfeat)[:k]
+		}
+		tb := &treeBuilder{p: p, binner: bnr, bins: bins, nfeat: m.nfeat, grad: grad, hess: hess, cols: cols}
+		t := tb.build(rows)
+		m.trees = append(m.trees, t)
+		for i := 0; i < n; i++ {
+			pred[i] += t.predict(X[i])
+		}
+	}
+	return nil
+}

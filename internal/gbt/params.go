@@ -1,0 +1,98 @@
+// Package gbt implements gradient-boosted regression trees in the
+// style of XGBoost (Chen & Guestrin, 2016), the surrogate model class
+// the paper uses for f̂ (Section IV–V).
+//
+// Trees are grown depth-wise on quantile-binned features (histogram
+// method). For the squared-error objective the gradient statistics are
+// g_i = ŷ_i − y_i and h_i = 1, the split gain is XGBoost's
+//
+//	Gain = ½ [ G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ) ] − γ
+//
+// and the leaf weight is w = −G/(H+λ). Learning-rate shrinkage, row
+// subsampling, column subsampling, minimum child weight and early
+// stopping on a validation split are supported — the knobs the paper's
+// GridSearchCV tunes (learning_rate, max_depth, n_estimators,
+// reg_lambda).
+package gbt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Params configure training. The zero value is not valid; start from
+// DefaultParams.
+type Params struct {
+	// NumTrees is the number of boosting rounds (paper: n_estimators).
+	NumTrees int
+	// LearningRate shrinks each tree's contribution (paper:
+	// learning_rate).
+	LearningRate float64
+	// MaxDepth bounds tree depth; a depth-0 tree is a single leaf
+	// (paper: max_depth).
+	MaxDepth int
+	// Lambda is the L2 regularization on leaf weights (paper:
+	// reg_lambda).
+	Lambda float64
+	// Gamma is the minimum gain required to make a split.
+	Gamma float64
+	// MinChildWeight is the minimum hessian sum per child; for squared
+	// loss this equals a minimum sample count per leaf.
+	MinChildWeight float64
+	// Subsample is the fraction of rows drawn (without replacement)
+	// per boosting round; 1 disables subsampling.
+	Subsample float64
+	// ColSample is the fraction of features considered per tree; 1
+	// disables column subsampling.
+	ColSample float64
+	// MaxBins is the number of histogram bins per feature (≤ 256).
+	MaxBins int
+	// EarlyStopping stops training when the validation RMSE has not
+	// improved for this many rounds (0 disables; requires a validation
+	// set on Fit).
+	EarlyStopping int
+	// Seed drives row/column subsampling.
+	Seed uint64
+}
+
+// DefaultParams mirror the fixed (non-hypertuned) configuration used
+// for the paper's Fig. 6 "Hypertuning=False" line.
+func DefaultParams() Params {
+	return Params{
+		NumTrees:       100,
+		LearningRate:   0.1,
+		MaxDepth:       6,
+		Lambda:         1,
+		Gamma:          0,
+		MinChildWeight: 1,
+		Subsample:      1,
+		ColSample:      1,
+		MaxBins:        256,
+		Seed:           1,
+	}
+}
+
+// Validate reports the first invalid parameter.
+func (p Params) Validate() error {
+	switch {
+	case p.NumTrees < 1:
+		return errors.New("gbt: NumTrees must be >= 1")
+	case p.LearningRate <= 0 || p.LearningRate > 1:
+		return fmt.Errorf("gbt: LearningRate %g out of (0,1]", p.LearningRate)
+	case p.MaxDepth < 0:
+		return errors.New("gbt: MaxDepth must be >= 0")
+	case p.Lambda < 0:
+		return errors.New("gbt: Lambda must be >= 0")
+	case p.Gamma < 0:
+		return errors.New("gbt: Gamma must be >= 0")
+	case p.MinChildWeight < 0:
+		return errors.New("gbt: MinChildWeight must be >= 0")
+	case p.Subsample <= 0 || p.Subsample > 1:
+		return fmt.Errorf("gbt: Subsample %g out of (0,1]", p.Subsample)
+	case p.ColSample <= 0 || p.ColSample > 1:
+		return fmt.Errorf("gbt: ColSample %g out of (0,1]", p.ColSample)
+	case p.MaxBins < 2 || p.MaxBins > 256:
+		return fmt.Errorf("gbt: MaxBins %d out of [2,256]", p.MaxBins)
+	}
+	return nil
+}

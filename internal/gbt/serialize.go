@@ -1,0 +1,62 @@
+package gbt
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Model serialization lets cmd/surf-train persist a tuned surrogate
+// and cmd/surf-find load it later — the paper's "train once, reuse for
+// different statistics, thresholds and users" deployment (Section V-D).
+
+// gobModel is the exported wire form.
+type gobModel struct {
+	Params    Params
+	BaseScore float64
+	Trees     []gobTree
+	NumFeat   int
+	BestRound int
+}
+
+type gobTree struct {
+	Nodes []node
+}
+
+// Save writes the model in gob encoding.
+func (m *Model) Save(w io.Writer) error {
+	g := gobModel{
+		Params:    m.params,
+		BaseScore: m.baseScore,
+		NumFeat:   m.nfeat,
+		BestRound: m.bestRound,
+	}
+	for _, t := range m.trees {
+		g.Trees = append(g.Trees, gobTree{Nodes: t.Nodes})
+	}
+	if err := gob.NewEncoder(w).Encode(g); err != nil {
+		return fmt.Errorf("gbt: encode model: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var g gobModel
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("gbt: decode model: %w", err)
+	}
+	if g.NumFeat <= 0 {
+		return nil, fmt.Errorf("gbt: decoded model has %d features", g.NumFeat)
+	}
+	m := &Model{
+		params:    g.Params,
+		baseScore: g.BaseScore,
+		nfeat:     g.NumFeat,
+		bestRound: g.BestRound,
+	}
+	for _, t := range g.Trees {
+		m.trees = append(m.trees, &tree{Nodes: t.Nodes})
+	}
+	return m, nil
+}

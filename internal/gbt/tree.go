@@ -1,0 +1,174 @@
+package gbt
+
+// tree is one regression tree stored as a flat node slice (index 0 is
+// the root). Leaves carry the shrunken weight added to the ensemble
+// prediction.
+type tree struct {
+	Nodes []node
+}
+
+// node is either an internal split (Feature ≥ 0) or a leaf
+// (Feature < 0). Split semantics: rows with value ≤ Threshold go Left.
+type node struct {
+	Feature   int32
+	Threshold float64
+	Left      int32
+	Right     int32
+	Weight    float64 // leaf value (already shrunken); 0 for splits
+	Gain      float64 // split gain, for feature importance
+}
+
+const leafMarker = int32(-1)
+
+// predict walks the tree for one raw feature row.
+func (t *tree) predict(row []float64) float64 {
+	idx := int32(0)
+	for {
+		n := &t.Nodes[idx]
+		if n.Feature == leafMarker {
+			return n.Weight
+		}
+		if row[n.Feature] <= n.Threshold {
+			idx = n.Left
+		} else {
+			idx = n.Right
+		}
+	}
+}
+
+// treeBuilder grows one tree depth-wise over binned features.
+type treeBuilder struct {
+	p      Params
+	binner *binner
+	bins   []uint8 // row-major binned matrix
+	nfeat  int
+	grad   []float64
+	hess   []float64
+	// features eligible this tree (column subsampling).
+	cols []int
+}
+
+// buildNode describes a frontier node during depth-wise growth.
+type buildNode struct {
+	nodeIdx int32
+	rows    []int32
+	depth   int
+	sumG    float64
+	sumH    float64
+}
+
+// histogram accumulates per-bin gradient statistics for one feature.
+type histogram struct {
+	g [256]float64
+	h [256]float64
+}
+
+// build grows the tree over the given rows.
+func (b *treeBuilder) build(rows []int32) *tree {
+	t := &tree{}
+	var sumG, sumH float64
+	for _, r := range rows {
+		sumG += b.grad[r]
+		sumH += b.hess[r]
+	}
+	t.Nodes = append(t.Nodes, node{Feature: leafMarker})
+	frontier := []buildNode{{nodeIdx: 0, rows: rows, depth: 0, sumG: sumG, sumH: sumH}}
+	for len(frontier) > 0 {
+		nb := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		feat, bin, gain, gL, hL := b.bestSplit(nb)
+		if feat < 0 || nb.depth >= b.p.MaxDepth {
+			b.makeLeaf(t, nb)
+			continue
+		}
+		left, right := b.partition(nb.rows, feat, bin)
+		if len(left) == 0 || len(right) == 0 {
+			// Numerically possible when all rows share the split bin.
+			b.makeLeaf(t, nb)
+			continue
+		}
+		leftIdx := int32(len(t.Nodes))
+		t.Nodes = append(t.Nodes, node{Feature: leafMarker})
+		rightIdx := int32(len(t.Nodes))
+		t.Nodes = append(t.Nodes, node{Feature: leafMarker})
+		t.Nodes[nb.nodeIdx] = node{
+			Feature:   int32(feat),
+			Threshold: b.binner.upperValue(feat, bin),
+			Left:      leftIdx,
+			Right:     rightIdx,
+			Gain:      gain,
+		}
+		frontier = append(frontier,
+			buildNode{nodeIdx: leftIdx, rows: left, depth: nb.depth + 1, sumG: gL, sumH: hL},
+			buildNode{nodeIdx: rightIdx, rows: right, depth: nb.depth + 1, sumG: nb.sumG - gL, sumH: nb.sumH - hL},
+		)
+	}
+	return t
+}
+
+// makeLeaf finalizes a frontier node as a leaf with the XGBoost weight
+// −G/(H+λ), shrunken by the learning rate.
+func (b *treeBuilder) makeLeaf(t *tree, nb buildNode) {
+	w := -nb.sumG / (nb.sumH + b.p.Lambda)
+	t.Nodes[nb.nodeIdx] = node{Feature: leafMarker, Weight: w * b.p.LearningRate}
+}
+
+// bestSplit scans histograms of all eligible features and returns the
+// best (feature, bin, gain, leftG, leftH), or feature −1 when no split
+// beats Gamma and the child-weight constraint.
+func (b *treeBuilder) bestSplit(nb buildNode) (feat, bin int, gain, gL, hL float64) {
+	if nb.depth >= b.p.MaxDepth || len(nb.rows) < 2 {
+		return -1, 0, 0, 0, 0
+	}
+	parentScore := nb.sumG * nb.sumG / (nb.sumH + b.p.Lambda)
+	bestGain := b.p.Gamma // require strictly more than Gamma improvement
+	feat = -1
+	var hist histogram
+	for _, j := range b.cols {
+		nbins := b.binner.numBins(j)
+		if nbins < 2 {
+			continue
+		}
+		for k := 0; k < nbins; k++ {
+			hist.g[k] = 0
+			hist.h[k] = 0
+		}
+		for _, r := range nb.rows {
+			bin := b.bins[int(r)*b.nfeat+j]
+			hist.g[bin] += b.grad[r]
+			hist.h[bin] += b.hess[r]
+		}
+		var cg, ch float64
+		for k := 0; k < nbins-1; k++ {
+			cg += hist.g[k]
+			ch += hist.h[k]
+			if ch < b.p.MinChildWeight || nb.sumH-ch < b.p.MinChildWeight {
+				continue
+			}
+			left := cg * cg / (ch + b.p.Lambda)
+			right := (nb.sumG - cg) * (nb.sumG - cg) / (nb.sumH - ch + b.p.Lambda)
+			g := 0.5 * (left + right - parentScore)
+			if g > bestGain {
+				bestGain = g
+				feat, bin = j, k
+				gL, hL = cg, ch
+			}
+		}
+	}
+	if feat < 0 {
+		return -1, 0, 0, 0, 0
+	}
+	return feat, bin, bestGain, gL, hL
+}
+
+// partition splits rows by the chosen (feature, bin) boundary.
+func (b *treeBuilder) partition(rows []int32, feat, bin int) (left, right []int32) {
+	for _, r := range rows {
+		if int(b.bins[int(r)*b.nfeat+feat]) <= bin {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	return left, right
+}

@@ -1,0 +1,60 @@
+package geom
+
+import "fmt"
+
+// The optimizer works over the flat (2d)-dimensional region solution
+// space of paper Section III: a particle p = [x, l] ∈ R^2d holds the
+// region center in its first d components and the half-side lengths in
+// the last d. These helpers convert between that encoding and Rect.
+
+// EncodeRegion packs center x and half-sides l into a single vector
+// [x1..xd, l1..ld].
+func EncodeRegion(x, l []float64) []float64 {
+	if len(x) != len(l) {
+		panic(fmt.Sprintf("geom: EncodeRegion center of dimension %d, sides of dimension %d", len(x), len(l)))
+	}
+	v := make([]float64, 0, 2*len(x))
+	v = append(v, x...)
+	v = append(v, l...)
+	return v
+}
+
+// DecodeRegion splits a [x, l] vector into its center and half-side
+// views. The returned slices alias v.
+func DecodeRegion(v []float64) (x, l []float64) {
+	if len(v)%2 != 0 {
+		panic(fmt.Sprintf("geom: DecodeRegion vector of odd length %d", len(v)))
+	}
+	d := len(v) / 2
+	return v[:d], v[d:]
+}
+
+// RectFromVector builds the hyper-rectangle [x−l, x+l] from a flat
+// [x, l] solution vector.
+func RectFromVector(v []float64) Rect {
+	x, l := DecodeRegion(v)
+	return FromCenter(x, l)
+}
+
+// VectorFromRect is the inverse of RectFromVector.
+func VectorFromRect(r Rect) []float64 {
+	return EncodeRegion(r.Center(), r.HalfSides())
+}
+
+// SolutionSpace returns the 2d-dimensional box the optimizer searches:
+// centers range over the data domain and half-sides over
+// [minSideFrac, maxSideFrac] of each dimension's extent. This mirrors
+// the paper's training-workload convention (sides covering 1%–15% of
+// the domain) while letting callers widen the side range.
+func SolutionSpace(domain Rect, minSideFrac, maxSideFrac float64) Rect {
+	d := domain.Dims()
+	out := Rect{Min: make([]float64, 2*d), Max: make([]float64, 2*d)}
+	for i := 0; i < d; i++ {
+		out.Min[i] = domain.Min[i]
+		out.Max[i] = domain.Max[i]
+		extent := domain.Max[i] - domain.Min[i]
+		out.Min[d+i] = minSideFrac * extent
+		out.Max[d+i] = maxSideFrac * extent
+	}
+	return out
+}

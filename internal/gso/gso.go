@@ -1,0 +1,485 @@
+// Package gso implements Glowworm Swarm Optimization (Krishnanand &
+// Ghose, Swarm Intelligence 2009), the evolutionary multimodal
+// optimizer SuRF uses to locate many interesting regions at once
+// (paper Section III-A).
+//
+// Each glowworm i carries a luciferin level ℓ_i updated as
+//
+//	ℓ_i(t) = (1−ρ)·ℓ_i(t−1) + γ·J(p_i(t))            (paper Eq. 6)
+//
+// and moves toward a probabilistically chosen brighter neighbour
+// within an adaptive local-decision radius:
+//
+//	P{j} = (ℓ_j−ℓ_i) / Σ_k (ℓ_k−ℓ_i)                 (paper Eq. 7)
+//	r_i(t+1) = min{r_s, max{0, r_i(t) + β(n_t − |N_i(t)|)}}
+//
+// Because interactions are local, the swarm splits into disjoint
+// groups that converge to distinct local optima — exactly the
+// behaviour needed when several regions satisfy the analyst's
+// threshold.
+//
+// Two SuRF-specific extensions are supported:
+//
+//  1. The objective may be *undefined* at a position (the log-form
+//     objective of paper Eq. 4 rejects regions violating the
+//     constraint). Undefined positions receive no luciferin
+//     enhancement, so their carriers go dim, stop attracting others
+//     and are drawn toward the valid space — the isolation behaviour
+//     of paper Fig. 7.
+//  2. Neighbour selection probabilities can be re-weighted by an
+//     arbitrary positive weight (SuRF passes the KDE box mass of the
+//     candidate region, paper Eq. 8).
+package gso
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sync"
+
+	"surf/internal/geom"
+)
+
+// Objective is a fitness function over positions in R^n. ok=false
+// marks the position as outside the objective's domain (e.g. the log
+// objective's argument was non-positive).
+type Objective interface {
+	Fitness(pos []float64) (value float64, ok bool)
+}
+
+// ObjectiveFunc adapts a plain function to Objective.
+type ObjectiveFunc func(pos []float64) (float64, bool)
+
+// Fitness calls f.
+func (f ObjectiveFunc) Fitness(pos []float64) (float64, bool) { return f(pos) }
+
+// SelectionWeight optionally re-weights the probability of selecting a
+// neighbour at the given position (paper Eq. 8). Must return a
+// non-negative value; nil disables re-weighting.
+type SelectionWeight func(pos []float64) float64
+
+// Params configure a GSO run. Zero value is invalid; start from
+// DefaultParams.
+type Params struct {
+	// Glowworms is the swarm size L.
+	Glowworms int
+	// MaxIters is the iteration budget T.
+	MaxIters int
+	// Rho is the luciferin decay ρ.
+	Rho float64
+	// Gamma is the luciferin enhancement γ.
+	Gamma float64
+	// Beta is the neighbourhood radius adaptation rate β.
+	Beta float64
+	// InitLuciferin is ℓ_0, every worm's starting luciferin.
+	InitLuciferin float64
+	// DesiredNeighbors is n_t, the target neighbourhood size.
+	DesiredNeighbors int
+	// StepSize is the movement step s, as a fraction of the average
+	// domain extent (the canonical s=0.03 assumes a unit-ish domain).
+	StepSize float64
+	// InitRadius is r_0. When 0, the rule of paper Section V-G is
+	// used: r_0 = (1 − (1/2)^(1/L))^(1/n) scaled by the domain extent.
+	InitRadius float64
+	// SensorRange is r_s, the hard cap on the decision radius. When 0
+	// it defaults to the domain diagonal (no effective cap).
+	SensorRange float64
+	// ConvergeWindow enables early stopping: the run halts when the
+	// mean luciferin changes by less than ConvergeEps over this many
+	// iterations. 0 disables.
+	ConvergeWindow int
+	// ConvergeEps is the plateau threshold for early stopping.
+	ConvergeEps float64
+	// Workers evaluates the objective for the swarm with this many
+	// goroutines per iteration (0 or 1 = sequential). Results are
+	// identical to the sequential run — only the fitness evaluations
+	// parallelize; the movement phase keeps its deterministic RNG
+	// stream. The objective must be safe for concurrent calls (the
+	// boosted-tree surrogate is).
+	Workers int
+	// Seed drives initialization and neighbour selection.
+	Seed uint64
+}
+
+// DefaultParams returns the constants of the GSO paper used throughout
+// SuRF's experiments: ρ=0.4, γ=0.6, β=0.08, n_t=5, ℓ0=5, s=0.03,
+// L=100, T=100.
+func DefaultParams() Params {
+	return Params{
+		Glowworms:        100,
+		MaxIters:         100,
+		Rho:              0.4,
+		Gamma:            0.6,
+		Beta:             0.08,
+		InitLuciferin:    5,
+		DesiredNeighbors: 5,
+		StepSize:         0.03,
+		Seed:             1,
+	}
+}
+
+// Validate reports the first invalid parameter.
+func (p Params) Validate() error {
+	switch {
+	case p.Glowworms < 2:
+		return errors.New("gso: need at least 2 glowworms")
+	case p.MaxIters < 1:
+		return errors.New("gso: MaxIters must be >= 1")
+	case p.Rho <= 0 || p.Rho >= 1:
+		return fmt.Errorf("gso: Rho %g out of (0,1)", p.Rho)
+	case p.Gamma <= 0:
+		return errors.New("gso: Gamma must be > 0")
+	case p.Beta <= 0:
+		return errors.New("gso: Beta must be > 0")
+	case p.DesiredNeighbors < 1:
+		return errors.New("gso: DesiredNeighbors must be >= 1")
+	case p.StepSize <= 0:
+		return errors.New("gso: StepSize must be > 0")
+	case p.InitRadius < 0 || p.SensorRange < 0:
+		return errors.New("gso: radii must be >= 0")
+	case p.Workers < 0:
+		return errors.New("gso: Workers must be >= 0")
+	}
+	return nil
+}
+
+// IterStats is one iteration's convergence telemetry (drives the
+// paper's Fig. 9 E[J] curves).
+type IterStats struct {
+	// Iteration index (0-based).
+	Iteration int
+	// MeanFitness is E[J] over worms whose position is currently
+	// valid; NaN when no worm is valid.
+	MeanFitness float64
+	// MeanLuciferin is the swarm's average luciferin.
+	MeanLuciferin float64
+	// ValidFrac is the fraction of worms at valid positions.
+	ValidFrac float64
+	// Moved is how many worms moved this iteration.
+	Moved int
+}
+
+// Result is the outcome of a GSO run.
+type Result struct {
+	// Positions are the final particle positions.
+	Positions [][]float64
+	// Fitness holds each particle's last evaluated fitness (NaN when
+	// invalid).
+	Fitness []float64
+	// Valid flags particles whose final position is in the
+	// objective's domain.
+	Valid []bool
+	// Luciferin holds final luciferin levels.
+	Luciferin []float64
+	// Iterations actually executed (≤ MaxIters with early stopping).
+	Iterations int
+	// Evaluations counts objective calls.
+	Evaluations int
+	// Trace is per-iteration telemetry.
+	Trace []IterStats
+	// History records each particle's positions over time when
+	// Options.RecordHistory was set (paper Fig. 1's trails).
+	History [][][]float64
+}
+
+// Options tune run behaviour beyond the core parameters.
+type Options struct {
+	// Weight re-weights neighbour selection (paper Eq. 8); nil
+	// disables.
+	Weight SelectionWeight
+	// RecordHistory keeps every particle position per iteration.
+	RecordHistory bool
+	// InitPositions seeds the swarm at the given positions instead of
+	// uniformly at random; len must equal Glowworms when non-nil.
+	InitPositions [][]float64
+	// InvalidWalk makes worms sitting on *invalid* positions with no
+	// brighter neighbour take a uniform random step of
+	// InvalidWalk × StepSize instead of staying stationary. Canonical
+	// GSO keeps such worms put (the paper's Fig. 1 shows them frozen
+	// in the undefined area); a small walk lets a swarm that
+	// initialized entirely outside a narrow valid basin still
+	// discover it. 0 disables (the canonical behaviour); worms on
+	// valid positions are never perturbed.
+	InvalidWalk float64
+}
+
+// Run executes GSO over the given solution-space bounds.
+func Run(p Params, bounds geom.Rect, obj Objective, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := bounds.Dims()
+	if n == 0 {
+		return nil, errors.New("gso: zero-dimensional bounds")
+	}
+	rng := rand.New(rand.NewPCG(p.Seed, 0x6c62272e07bb0142))
+
+	extent := make([]float64, n)
+	var meanExtent float64
+	for j := 0; j < n; j++ {
+		extent[j] = bounds.Max[j] - bounds.Min[j]
+		meanExtent += extent[j]
+	}
+	meanExtent /= float64(n)
+	if meanExtent <= 0 {
+		meanExtent = 1
+	}
+	step := p.StepSize * meanExtent
+
+	// Domain diagonal bounds the sensor range by default.
+	var diag float64
+	for j := 0; j < n; j++ {
+		diag += extent[j] * extent[j]
+	}
+	diag = math.Sqrt(diag)
+	sensor := p.SensorRange
+	if sensor == 0 {
+		sensor = diag
+	}
+	r0 := p.InitRadius
+	if r0 == 0 {
+		r0 = InitialRadius(p.Glowworms, n, meanExtent)
+	}
+	if r0 > sensor {
+		r0 = sensor
+	}
+
+	L := p.Glowworms
+	pos := make([][]float64, L)
+	if opts.InitPositions != nil {
+		if len(opts.InitPositions) != L {
+			return nil, fmt.Errorf("gso: %d initial positions for %d glowworms", len(opts.InitPositions), L)
+		}
+		for i, ip := range opts.InitPositions {
+			if len(ip) != n {
+				return nil, fmt.Errorf("gso: initial position %d has dimension %d, want %d", i, len(ip), n)
+			}
+			pos[i] = append([]float64(nil), ip...)
+		}
+	} else {
+		for i := range pos {
+			pos[i] = randomPoint(rng, bounds)
+		}
+	}
+
+	luc := make([]float64, L)
+	radius := make([]float64, L)
+	fitness := make([]float64, L)
+	valid := make([]bool, L)
+	for i := range luc {
+		luc[i] = p.InitLuciferin
+		radius[i] = r0
+	}
+
+	res := &Result{}
+	if opts.RecordHistory {
+		res.History = make([][][]float64, L)
+	}
+
+	var neighbors []int
+	var weights []float64
+	var plateau []float64
+	var wcache []float64
+	if opts.Weight != nil {
+		wcache = make([]float64, L)
+	}
+
+	for t := 0; t < p.MaxIters; t++ {
+		// Phase 1: fitness evaluation (optionally parallel) followed
+		// by the luciferin update. Invalid positions decay only,
+		// emulating the undefined log objective (paper Section V-F).
+		evaluate(obj, pos, fitness, valid, p.Workers)
+		res.Evaluations += L
+		var sumFit float64
+		var nValid int
+		for i := 0; i < L; i++ {
+			if valid[i] {
+				luc[i] = (1-p.Rho)*luc[i] + p.Gamma*fitness[i]
+				sumFit += fitness[i]
+				nValid++
+			} else {
+				fitness[i] = math.NaN()
+				luc[i] = (1 - p.Rho) * luc[i]
+			}
+		}
+
+		// Phase 2: movement. Selection weights (e.g. KDE box masses)
+		// are evaluated once per particle per iteration against the
+		// start-of-phase positions — the synchronous-update reading
+		// of Eq. 8 — rather than per candidate pair.
+		if opts.Weight != nil {
+			for i := 0; i < L; i++ {
+				wcache[i] = math.Max(0, opts.Weight(pos[i]))
+			}
+		}
+		moved := 0
+		for i := 0; i < L; i++ {
+			neighbors = neighbors[:0]
+			weights = weights[:0]
+			var totalW float64
+			for j := 0; j < L; j++ {
+				if j == i || luc[j] <= luc[i] {
+					continue
+				}
+				if dist(pos[i], pos[j]) > radius[i] {
+					continue
+				}
+				w := luc[j] - luc[i]
+				if opts.Weight != nil {
+					w *= wcache[j]
+				}
+				if w <= 0 {
+					continue
+				}
+				neighbors = append(neighbors, j)
+				weights = append(weights, w)
+				totalW += w
+			}
+			// Adaptive radius uses the pre-move neighbourhood size.
+			radius[i] = math.Min(sensor, math.Max(0, radius[i]+p.Beta*(float64(p.DesiredNeighbors)-float64(len(neighbors)))))
+			if len(neighbors) == 0 || totalW <= 0 {
+				if opts.InvalidWalk > 0 && !valid[i] {
+					// Diffuse constraint-violating stragglers.
+					for j := 0; j < n; j++ {
+						delta := (rng.Float64()*2 - 1) * step * opts.InvalidWalk
+						pos[i][j] = clamp(pos[i][j]+delta, bounds.Min[j], bounds.Max[j])
+					}
+					moved++
+				}
+				continue
+			}
+			// Roulette selection over (ℓ_j − ℓ_i) · weight.
+			pick := rng.Float64() * totalW
+			sel := neighbors[len(neighbors)-1]
+			var cum float64
+			for k, w := range weights {
+				cum += w
+				if pick <= cum {
+					sel = neighbors[k]
+					break
+				}
+			}
+			d := dist(pos[i], pos[sel])
+			if d == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				pos[i][j] += step * (pos[sel][j] - pos[i][j]) / d
+				pos[i][j] = clamp(pos[i][j], bounds.Min[j], bounds.Max[j])
+			}
+			moved++
+		}
+
+		meanFit := math.NaN()
+		if nValid > 0 {
+			meanFit = sumFit / float64(nValid)
+		}
+		var meanLuc float64
+		for _, v := range luc {
+			meanLuc += v
+		}
+		meanLuc /= float64(L)
+		res.Trace = append(res.Trace, IterStats{
+			Iteration:     t,
+			MeanFitness:   meanFit,
+			MeanLuciferin: meanLuc,
+			ValidFrac:     float64(nValid) / float64(L),
+			Moved:         moved,
+		})
+		if opts.RecordHistory {
+			for i := 0; i < L; i++ {
+				res.History[i] = append(res.History[i], append([]float64(nil), pos[i]...))
+			}
+		}
+		res.Iterations = t + 1
+
+		if p.ConvergeWindow > 0 {
+			plateau = append(plateau, meanLuc)
+			if len(plateau) > p.ConvergeWindow {
+				plateau = plateau[1:]
+				lo, hi := plateau[0], plateau[0]
+				for _, v := range plateau {
+					lo = math.Min(lo, v)
+					hi = math.Max(hi, v)
+				}
+				if hi-lo < p.ConvergeEps {
+					break
+				}
+			}
+		}
+	}
+
+	res.Positions = pos
+	res.Fitness = fitness
+	res.Valid = valid
+	res.Luciferin = luc
+	return res, nil
+}
+
+// InitialRadius implements the paper's Section V-G heuristic
+// r_0 = (1 − (1/2)^(1/L))^(1/d), taken from Friedman et al. Eq. 2.24
+// (the expected edge length of a hyper-cube capturing 1/(2L) of a unit
+// volume), scaled by the mean domain extent.
+func InitialRadius(glowworms, dims int, meanExtent float64) float64 {
+	if glowworms < 1 || dims < 1 {
+		return meanExtent
+	}
+	frac := 1 - math.Pow(0.5, 1/float64(glowworms))
+	return math.Pow(frac, 1/float64(dims)) * meanExtent
+}
+
+// evaluate fills fitness and valid for every position, fanning out to
+// the given number of worker goroutines when workers > 1.
+func evaluate(obj Objective, pos [][]float64, fitness []float64, valid []bool, workers int) {
+	if workers <= 1 || len(pos) < 2*workers {
+		for i := range pos {
+			fitness[i], valid[i] = obj.Fitness(pos[i])
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(pos) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(pos))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fitness[i], valid[i] = obj.Fitness(pos[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func randomPoint(rng *rand.Rand, bounds geom.Rect) []float64 {
+	p := make([]float64, bounds.Dims())
+	for j := range p {
+		p[j] = bounds.Min[j] + rng.Float64()*(bounds.Max[j]-bounds.Min[j])
+	}
+	return p
+}
+
+func dist(a, b []float64) float64 {
+	var s float64
+	for j := range a {
+		d := a[j] - b[j]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

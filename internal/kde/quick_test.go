@@ -1,0 +1,54 @@
+package kde
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"surf/internal/geom"
+)
+
+// Property: box mass is always within [0, 1] and density is
+// non-negative, for arbitrary boxes and probe points.
+func TestMassAndDensityBoundsQuick(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 1))
+	pts := gaussianCloud(rng, 200, 2, 0, 2)
+	k, err := Fit(pts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x0, x1, l0, l1 float64) bool {
+		box := geom.FromCenter([]float64{x0, x1}, []float64{l0, l1})
+		m := k.BoxMass(box)
+		if m < 0 || m > 1+1e-9 || math.IsNaN(m) {
+			return false
+		}
+		d := k.Density([]float64{x0, x1})
+		return d >= 0 && !math.IsNaN(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: translating the data translates the density field.
+func TestDensityTranslationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewPCG(52, 1))
+	pts := gaussianCloud(rng, 150, 1, 0, 1)
+	shifted := make([][]float64, len(pts))
+	const shift = 3.5
+	for i, p := range pts {
+		shifted[i] = []float64{p[0] + shift}
+	}
+	k1, _ := Fit(pts, Options{})
+	k2, _ := Fit(shifted, Options{})
+	for trial := 0; trial < 100; trial++ {
+		x := rng.Float64()*6 - 3
+		d1 := k1.Density([]float64{x})
+		d2 := k2.Density([]float64{x + shift})
+		if math.Abs(d1-d2) > 1e-9*math.Max(1, d1) {
+			t.Fatalf("translation broke density at %g: %g vs %g", x, d1, d2)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+
+	"surf/internal/gbt"
+)
+
+// GBTRegressor adapts gbt.Model to the Regressor interface so the
+// boosted-tree surrogate can flow through KFold/GridSearchCV.
+type GBTRegressor struct {
+	Params gbt.Params
+	model  *gbt.Model
+}
+
+// Fit trains the ensemble.
+func (r *GBTRegressor) Fit(X [][]float64, y []float64) error {
+	m, err := gbt.Train(r.Params, X, y, nil, nil)
+	if err != nil {
+		return err
+	}
+	r.model = m
+	return nil
+}
+
+// Predict returns ensemble predictions; it panics if Fit has not run.
+func (r *GBTRegressor) Predict(X [][]float64) []float64 {
+	if r.model == nil {
+		panic("ml: GBTRegressor.Predict before Fit")
+	}
+	return r.model.Predict(X)
+}
+
+// Model exposes the trained ensemble (nil before Fit).
+func (r *GBTRegressor) Model() *gbt.Model { return r.model }
+
+// GBTGrid is the paper's Section V-E hyper-parameter grid: 3 learning
+// rates × 4 depths × 3 tree counts × 4 lambdas = 144 combinations.
+func GBTGrid() Grid {
+	return Grid{
+		"learning_rate": {0.1, 0.01, 0.001},
+		"max_depth":     {3, 5, 7, 9},
+		"n_estimators":  {100, 200, 300},
+		"reg_lambda":    {1, 0.1, 0.01, 0.001},
+	}
+}
+
+// GBTFactory builds GBTRegressor instances from named parameters. Any
+// omitted parameter keeps its gbt.DefaultParams value; unknown names
+// are an error so grid typos fail fast.
+func GBTFactory(base gbt.Params) Factory {
+	return func(params map[string]float64) (Regressor, error) {
+		p := base
+		for name, v := range params {
+			switch name {
+			case "learning_rate":
+				p.LearningRate = v
+			case "max_depth":
+				if v < 0 || v != float64(int(v)) {
+					return nil, fmt.Errorf("ml: max_depth %g is not a non-negative integer", v)
+				}
+				p.MaxDepth = int(v)
+			case "n_estimators":
+				if v < 1 || v != float64(int(v)) {
+					return nil, fmt.Errorf("ml: n_estimators %g is not a positive integer", v)
+				}
+				p.NumTrees = int(v)
+			case "reg_lambda":
+				p.Lambda = v
+			case "subsample":
+				p.Subsample = v
+			case "colsample":
+				p.ColSample = v
+			case "gamma":
+				p.Gamma = v
+			case "min_child_weight":
+				p.MinChildWeight = v
+			default:
+				return nil, fmt.Errorf("ml: unknown gbt parameter %q", name)
+			}
+		}
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		return &GBTRegressor{Params: p}, nil
+	}
+}
+
+// ErrUnfit reports use of an unfitted estimator.
+var ErrUnfit = errors.New("ml: estimator not fitted")

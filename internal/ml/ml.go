@@ -1,0 +1,244 @@
+// Package ml provides the model-selection substrate the paper relies
+// on from scikit-learn: train/test splitting, K-fold cross validation,
+// exhaustive grid search (GridSearchCV) and feature scaling. It is
+// model-agnostic via the Regressor interface so alternative surrogate
+// families can be dropped in (the paper notes its choice of XGBoost is
+// not essential, footnote 2).
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"surf/internal/stats"
+)
+
+// Regressor is any trainable y ≈ f̂(x) model.
+type Regressor interface {
+	Fit(X [][]float64, y []float64) error
+	Predict(X [][]float64) []float64
+}
+
+// Factory builds a fresh Regressor from a named hyper-parameter
+// assignment; used by GridSearchCV.
+type Factory func(params map[string]float64) (Regressor, error)
+
+// TrainTestSplit shuffles and splits a dataset, holding out testFrac of
+// the rows. The inputs are not modified.
+func TrainTestSplit(X [][]float64, y []float64, testFrac float64, rng *rand.Rand) (trainX [][]float64, trainY []float64, testX [][]float64, testY []float64, err error) {
+	if len(X) != len(y) {
+		return nil, nil, nil, nil, fmt.Errorf("ml: %d rows but %d labels", len(X), len(y))
+	}
+	if len(X) < 2 {
+		return nil, nil, nil, nil, errors.New("ml: need at least 2 rows to split")
+	}
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, nil, nil, nil, fmt.Errorf("ml: testFrac %g out of (0,1)", testFrac)
+	}
+	perm := rng.Perm(len(X))
+	nTest := int(math.Round(testFrac * float64(len(X))))
+	if nTest < 1 {
+		nTest = 1
+	}
+	if nTest >= len(X) {
+		nTest = len(X) - 1
+	}
+	for i, p := range perm {
+		if i < nTest {
+			testX = append(testX, X[p])
+			testY = append(testY, y[p])
+		} else {
+			trainX = append(trainX, X[p])
+			trainY = append(trainY, y[p])
+		}
+	}
+	return trainX, trainY, testX, testY, nil
+}
+
+// KFold yields k (train, test) index partitions of n rows, shuffled by
+// rng. Folds differ in size by at most one row.
+func KFold(n, k int, rng *rand.Rand) ([][2][]int, error) {
+	if k < 2 {
+		return nil, errors.New("ml: k must be >= 2")
+	}
+	if n < k {
+		return nil, fmt.Errorf("ml: %d rows for %d folds", n, k)
+	}
+	perm := rng.Perm(n)
+	folds := make([][]int, k)
+	for i, p := range perm {
+		folds[i%k] = append(folds[i%k], p)
+	}
+	out := make([][2][]int, k)
+	for i := 0; i < k; i++ {
+		var train []int
+		for j := 0; j < k; j++ {
+			if j != i {
+				train = append(train, folds[j]...)
+			}
+		}
+		out[i] = [2][]int{train, folds[i]}
+	}
+	return out, nil
+}
+
+// CrossValRMSE trains a fresh model per fold and returns the mean and
+// standard deviation of the per-fold test RMSE.
+func CrossValRMSE(factory Factory, params map[string]float64, X [][]float64, y []float64, k int, rng *rand.Rand) (meanRMSE, stdRMSE float64, err error) {
+	folds, err := KFold(len(X), k, rng)
+	if err != nil {
+		return 0, 0, err
+	}
+	scores := make([]float64, 0, k)
+	for _, fold := range folds {
+		trainIdx, testIdx := fold[0], fold[1]
+		model, err := factory(params)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := model.Fit(gather(X, trainIdx), gatherY(y, trainIdx)); err != nil {
+			return 0, 0, err
+		}
+		pred := model.Predict(gather(X, testIdx))
+		rmse, err := stats.RMSE(pred, gatherY(y, testIdx))
+		if err != nil {
+			return 0, 0, err
+		}
+		scores = append(scores, rmse)
+	}
+	return stats.MeanOf(scores), stats.StdDevOf(scores), nil
+}
+
+// Grid is a named hyper-parameter grid, e.g.
+// {"learning_rate": {0.1, 0.01}, "max_depth": {3, 5, 7}}.
+type Grid map[string][]float64
+
+// Combinations expands the grid into every parameter assignment, in a
+// deterministic order (parameter names sorted, values in given order).
+func (g Grid) Combinations() []map[string]float64 {
+	names := make([]string, 0, len(g))
+	for name := range g {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	combos := []map[string]float64{{}}
+	for _, name := range names {
+		vals := g[name]
+		next := make([]map[string]float64, 0, len(combos)*len(vals))
+		for _, c := range combos {
+			for _, v := range vals {
+				nc := make(map[string]float64, len(c)+1)
+				for k2, v2 := range c {
+					nc[k2] = v2
+				}
+				nc[name] = v
+				next = append(next, nc)
+			}
+		}
+		combos = next
+	}
+	return combos
+}
+
+// SearchResult records one grid point's cross-validation outcome.
+type SearchResult struct {
+	Params   map[string]float64
+	MeanRMSE float64
+	StdRMSE  float64
+}
+
+// GridSearchCV exhaustively evaluates the grid with k-fold cross
+// validation (the paper's GridSearchCV, Section V-E) and returns the
+// best assignment plus all per-combination results.
+func GridSearchCV(factory Factory, grid Grid, X [][]float64, y []float64, k int, rng *rand.Rand) (best SearchResult, all []SearchResult, err error) {
+	combos := grid.Combinations()
+	if len(combos) == 0 {
+		return SearchResult{}, nil, errors.New("ml: empty grid")
+	}
+	best.MeanRMSE = math.Inf(1)
+	for _, params := range combos {
+		mean, std, err := CrossValRMSE(factory, params, X, y, k, rng)
+		if err != nil {
+			return SearchResult{}, nil, err
+		}
+		res := SearchResult{Params: params, MeanRMSE: mean, StdRMSE: std}
+		all = append(all, res)
+		if mean < best.MeanRMSE {
+			best = res
+		}
+	}
+	return best, all, nil
+}
+
+// MinMaxScaler linearly maps each feature to [0, 1] based on the range
+// observed at Fit time. Constant features map to 0.
+type MinMaxScaler struct {
+	min  []float64
+	span []float64
+}
+
+// Fit learns per-feature ranges.
+func (s *MinMaxScaler) Fit(X [][]float64) error {
+	if len(X) == 0 {
+		return errors.New("ml: scaler fit on empty matrix")
+	}
+	nfeat := len(X[0])
+	s.min = make([]float64, nfeat)
+	s.span = make([]float64, nfeat)
+	for j := 0; j < nfeat; j++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, row := range X {
+			if row[j] < lo {
+				lo = row[j]
+			}
+			if row[j] > hi {
+				hi = row[j]
+			}
+		}
+		s.min[j] = lo
+		s.span[j] = hi - lo
+	}
+	return nil
+}
+
+// Transform scales a matrix (allocating a new one).
+func (s *MinMaxScaler) Transform(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		r := make([]float64, len(row))
+		for j, v := range row {
+			if s.span[j] > 0 {
+				r[j] = (v - s.min[j]) / s.span[j]
+			}
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// FitTransform fits and transforms in one call.
+func (s *MinMaxScaler) FitTransform(X [][]float64) ([][]float64, error) {
+	if err := s.Fit(X); err != nil {
+		return nil, err
+	}
+	return s.Transform(X), nil
+}
+
+func gather(X [][]float64, idx []int) [][]float64 {
+	out := make([][]float64, len(idx))
+	for i, j := range idx {
+		out[i] = X[j]
+	}
+	return out
+}
+
+func gatherY(y []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = y[j]
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package ml
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"surf/internal/gbt"
+)
+
+func makeData(rng *rand.Rand, n int) ([][]float64, []float64) {
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x0, x1 := rng.Float64(), rng.Float64()
+		X[i] = []float64{x0, x1}
+		y[i] = 2*x0 + x1
+	}
+	return X, y
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	X, y := makeData(rng, 100)
+	trX, trY, teX, teY, err := TrainTestSplit(X, y, 0.25, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(teX) != 25 || len(trX) != 75 {
+		t.Errorf("split sizes %d/%d, want 75/25", len(trX), len(teX))
+	}
+	if len(trX) != len(trY) || len(teX) != len(teY) {
+		t.Error("feature/label length mismatch")
+	}
+	// Every original row appears exactly once across the splits.
+	seen := make(map[float64]int)
+	for _, row := range append(append([][]float64{}, trX...), teX...) {
+		seen[row[0]]++
+	}
+	if len(seen) != 100 {
+		t.Errorf("rows lost or duplicated: %d unique", len(seen))
+	}
+}
+
+func TestTrainTestSplitErrors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 1))
+	X, y := makeData(rng, 10)
+	if _, _, _, _, err := TrainTestSplit(X, y[:5], 0.5, rng); err == nil {
+		t.Error("expected error for length mismatch")
+	}
+	if _, _, _, _, err := TrainTestSplit(X[:1], y[:1], 0.5, rng); err == nil {
+		t.Error("expected error for single row")
+	}
+	if _, _, _, _, err := TrainTestSplit(X, y, 0, rng); err == nil {
+		t.Error("expected error for testFrac 0")
+	}
+	if _, _, _, _, err := TrainTestSplit(X, y, 1, rng); err == nil {
+		t.Error("expected error for testFrac 1")
+	}
+}
+
+func TestKFoldPartition(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 1))
+	const n, k = 103, 5
+	folds, err := KFold(n, k, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != k {
+		t.Fatalf("got %d folds, want %d", len(folds), k)
+	}
+	seen := make(map[int]int)
+	for _, fold := range folds {
+		train, test := fold[0], fold[1]
+		if len(train)+len(test) != n {
+			t.Fatalf("fold sizes %d+%d != %d", len(train), len(test), n)
+		}
+		inTest := make(map[int]bool)
+		for _, i := range test {
+			inTest[i] = true
+			seen[i]++
+		}
+		for _, i := range train {
+			if inTest[i] {
+				t.Fatalf("row %d in both train and test", i)
+			}
+		}
+		// Fold sizes are balanced to within one row.
+		if len(test) < n/k || len(test) > n/k+1 {
+			t.Fatalf("unbalanced test fold: %d", len(test))
+		}
+	}
+	// Every row is tested exactly once.
+	if len(seen) != n {
+		t.Fatalf("only %d rows appear in test folds", len(seen))
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("row %d tested %d times", i, c)
+		}
+	}
+}
+
+func TestKFoldErrors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 1))
+	if _, err := KFold(10, 1, rng); err == nil {
+		t.Error("expected error for k=1")
+	}
+	if _, err := KFold(3, 5, rng); err == nil {
+		t.Error("expected error for n < k")
+	}
+}
+
+func TestGridCombinations(t *testing.T) {
+	g := Grid{"a": {1, 2}, "b": {10, 20, 30}}
+	combos := g.Combinations()
+	if len(combos) != 6 {
+		t.Fatalf("got %d combos, want 6", len(combos))
+	}
+	seen := make(map[[2]float64]bool)
+	for _, c := range combos {
+		seen[[2]float64{c["a"], c["b"]}] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("duplicate combos: %v", combos)
+	}
+	// Paper's grid is 3*4*3*4 = 144.
+	if n := len(GBTGrid().Combinations()); n != 144 {
+		t.Errorf("paper grid has %d combos, want 144", n)
+	}
+	// Empty grid yields the single empty assignment.
+	if n := len(Grid{}.Combinations()); n != 1 {
+		t.Errorf("empty grid combos = %d, want 1", n)
+	}
+}
+
+func TestGBTFactory(t *testing.T) {
+	f := GBTFactory(gbt.DefaultParams())
+	r, err := f(map[string]float64{"learning_rate": 0.05, "max_depth": 3, "n_estimators": 50, "reg_lambda": 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := r.(*GBTRegressor)
+	if reg.Params.LearningRate != 0.05 || reg.Params.MaxDepth != 3 || reg.Params.NumTrees != 50 || reg.Params.Lambda != 0.5 {
+		t.Errorf("params not applied: %+v", reg.Params)
+	}
+	if _, err := f(map[string]float64{"bogus": 1}); err == nil {
+		t.Error("expected error for unknown parameter")
+	}
+	if _, err := f(map[string]float64{"max_depth": 2.5}); err == nil {
+		t.Error("expected error for fractional depth")
+	}
+	if _, err := f(map[string]float64{"n_estimators": 0}); err == nil {
+		t.Error("expected error for zero trees")
+	}
+	if _, err := f(map[string]float64{"learning_rate": -1}); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestCrossValRMSELearnsSignal(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 1))
+	X, y := makeData(rng, 300)
+	base := gbt.DefaultParams()
+	base.NumTrees = 60
+	mean, std, err := CrossValRMSE(GBTFactory(base), nil, X, y, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean > 0.25 {
+		t.Errorf("CV RMSE = %g, want < 0.25 on clean linear data", mean)
+	}
+	if std < 0 || math.IsNaN(std) {
+		t.Errorf("std = %g", std)
+	}
+}
+
+func TestGridSearchCVPicksBest(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 1))
+	X, y := makeData(rng, 200)
+	base := gbt.DefaultParams()
+	base.NumTrees = 30
+	// Depth 0 trees cannot fit x-dependent signal; depth 4 can. The
+	// search must prefer depth 4.
+	grid := Grid{"max_depth": {0, 4}}
+	best, all, err := GridSearchCV(GBTFactory(base), grid, X, y, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("got %d results, want 2", len(all))
+	}
+	if best.Params["max_depth"] != 4 {
+		t.Errorf("best depth = %g, want 4 (results: %+v)", best.Params["max_depth"], all)
+	}
+	for _, r := range all {
+		if best.MeanRMSE > r.MeanRMSE {
+			t.Errorf("best %g is not minimal (saw %g)", best.MeanRMSE, r.MeanRMSE)
+		}
+	}
+}
+
+func TestGridSearchCVEmptyGridStillRuns(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 1))
+	X, y := makeData(rng, 60)
+	base := gbt.DefaultParams()
+	base.NumTrees = 5
+	best, all, err := GridSearchCV(GBTFactory(base), Grid{}, X, y, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 || math.IsInf(best.MeanRMSE, 1) {
+		t.Errorf("empty grid should evaluate the base params once")
+	}
+}
+
+func TestMinMaxScaler(t *testing.T) {
+	X := [][]float64{{0, 10, 5}, {5, 20, 5}, {10, 30, 5}}
+	var s MinMaxScaler
+	out, err := s.FitTransform(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{0, 0, 0}, {0.5, 0.5, 0}, {1, 1, 0}}
+	for i := range want {
+		for j := range want[i] {
+			if math.Abs(out[i][j]-want[i][j]) > 1e-12 {
+				t.Errorf("out[%d][%d] = %g, want %g", i, j, out[i][j], want[i][j])
+			}
+		}
+	}
+	// Transform of new data uses the fitted range.
+	fresh := s.Transform([][]float64{{2.5, 15, 7}})
+	if math.Abs(fresh[0][0]-0.25) > 1e-12 {
+		t.Errorf("fresh[0][0] = %g, want 0.25", fresh[0][0])
+	}
+	if err := (&MinMaxScaler{}).Fit(nil); err == nil {
+		t.Error("expected error for empty fit")
+	}
+}
+
+func TestGBTRegressorPredictBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&GBTRegressor{Params: gbt.DefaultParams()}).Predict([][]float64{{1}})
+}

@@ -1,0 +1,195 @@
+// Package naive implements the paper's baseline solution (Section
+// II-A): discretize the region solution space into n center points and
+// m side lengths per dimension and exhaustively evaluate all (n·m)^d
+// candidate regions against the objective. Complexity is
+// O((n·m)^d · N) when the objective is backed by the true f — the
+// exponential blow-up Table I demonstrates. A wall-clock budget makes
+// the blow-up observable without hanging the harness: when the budget
+// expires the examined-to-total ratio is reported, matching the
+// "- (22%)" entries of Table I.
+package naive
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"surf/internal/geom"
+	"surf/internal/gso"
+)
+
+// Params configure the exhaustive search.
+type Params struct {
+	// CentersPerDim is n, the number of discretized center positions
+	// per data dimension (paper: n = 6).
+	CentersPerDim int
+	// LengthsPerDim is m, the number of discretized half-side lengths
+	// per data dimension (paper: m = 6).
+	LengthsPerDim int
+	// TimeBudget aborts the enumeration when exceeded (the paper used
+	// 3000 s). 0 means no budget.
+	TimeBudget time.Duration
+	// MaxKeep caps the number of best-scoring regions retained.
+	MaxKeep int
+}
+
+// DefaultParams return the paper's n = m = 6 configuration.
+func DefaultParams() Params {
+	return Params{
+		CentersPerDim: 6,
+		LengthsPerDim: 6,
+		MaxKeep:       1000,
+	}
+}
+
+// Validate reports the first invalid parameter.
+func (p Params) Validate() error {
+	switch {
+	case p.CentersPerDim < 1:
+		return errors.New("naive: CentersPerDim must be >= 1")
+	case p.LengthsPerDim < 1:
+		return errors.New("naive: LengthsPerDim must be >= 1")
+	case p.TimeBudget < 0:
+		return errors.New("naive: TimeBudget must be >= 0")
+	case p.MaxKeep < 1:
+		return errors.New("naive: MaxKeep must be >= 1")
+	}
+	return nil
+}
+
+// ScoredRegion is one valid candidate with its objective value.
+type ScoredRegion struct {
+	// Vector is the [x, l] region encoding.
+	Vector []float64
+	// Fitness is the objective value.
+	Fitness float64
+}
+
+// Result reports the enumeration outcome.
+type Result struct {
+	// Regions holds the retained valid regions, best fitness first.
+	Regions []ScoredRegion
+	// Examined is the number of candidates actually evaluated.
+	Examined int
+	// Total is the full size of the discretized space.
+	Total int
+	// TimedOut reports whether the budget expired before completion.
+	TimedOut bool
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// ExaminedRatio is Examined/Total — the percentage Table I reports for
+// timed-out configurations.
+func (r *Result) ExaminedRatio() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Examined) / float64(r.Total)
+}
+
+// Run enumerates the discretized region space defined by space (a
+// 2d-dimensional geom.SolutionSpace: centers in the first d dims,
+// half-sides in the last d) and scores each candidate with the
+// objective, keeping valid ones.
+func Run(p Params, space geom.Rect, obj gso.Objective) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if space.Dims() == 0 || space.Dims()%2 != 0 {
+		return nil, fmt.Errorf("naive: solution space must have even dimension, got %d", space.Dims())
+	}
+	d := space.Dims() / 2
+
+	centers := make([][]float64, d)
+	lengths := make([][]float64, d)
+	for j := 0; j < d; j++ {
+		centers[j] = linspace(space.Min[j], space.Max[j], p.CentersPerDim)
+		lengths[j] = linspace(space.Min[d+j], space.Max[d+j], p.LengthsPerDim)
+	}
+
+	total := 1
+	for j := 0; j < d; j++ {
+		total *= len(centers[j]) * len(lengths[j])
+	}
+
+	res := &Result{Total: total}
+	start := time.Now()
+	deadline := time.Time{}
+	if p.TimeBudget > 0 {
+		deadline = start.Add(p.TimeBudget)
+	}
+
+	// Mixed-radix enumeration over 2d digits: first d index centers,
+	// last d index lengths.
+	radix := make([]int, 2*d)
+	for j := 0; j < d; j++ {
+		radix[j] = len(centers[j])
+		radix[d+j] = len(lengths[j])
+	}
+	digits := make([]int, 2*d)
+	vec := make([]float64, 2*d)
+
+	const deadlineCheckEvery = 256
+	for {
+		if !deadline.IsZero() && res.Examined%deadlineCheckEvery == 0 && time.Now().After(deadline) {
+			res.TimedOut = true
+			break
+		}
+		for j := 0; j < d; j++ {
+			vec[j] = centers[j][digits[j]]
+			vec[d+j] = lengths[j][digits[d+j]]
+		}
+		if v, ok := obj.Fitness(vec); ok && !math.IsNaN(v) {
+			res.Regions = append(res.Regions, ScoredRegion{
+				Vector:  append([]float64(nil), vec...),
+				Fitness: v,
+			})
+			if len(res.Regions) > 2*p.MaxKeep {
+				trimToBest(res, p.MaxKeep)
+			}
+		}
+		res.Examined++
+
+		// Advance the mixed-radix counter.
+		k := 2*d - 1
+		for ; k >= 0; k-- {
+			digits[k]++
+			if digits[k] < radix[k] {
+				break
+			}
+			digits[k] = 0
+		}
+		if k < 0 {
+			break
+		}
+	}
+	trimToBest(res, p.MaxKeep)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func trimToBest(res *Result, keep int) {
+	sort.Slice(res.Regions, func(i, j int) bool {
+		return res.Regions[i].Fitness > res.Regions[j].Fitness
+	})
+	if len(res.Regions) > keep {
+		res.Regions = res.Regions[:keep]
+	}
+}
+
+// linspace returns count evenly spaced values across [lo, hi]. A
+// single-count request returns the midpoint.
+func linspace(lo, hi float64, count int) []float64 {
+	if count == 1 {
+		return []float64{(lo + hi) / 2}
+	}
+	out := make([]float64, count)
+	step := (hi - lo) / float64(count-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}

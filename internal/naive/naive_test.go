@@ -1,0 +1,190 @@
+package naive
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"surf/internal/geom"
+	"surf/internal/gso"
+)
+
+// bumpObjective scores regions by closeness of their center to target
+// and is undefined left of the validity wall.
+func bumpObjective(target []float64, wall float64) gso.ObjectiveFunc {
+	return func(vec []float64) (float64, bool) {
+		d := len(vec) / 2
+		if vec[0] < wall {
+			return 0, false
+		}
+		var d2 float64
+		for j := 0; j < d; j++ {
+			dd := vec[j] - target[j]
+			d2 += dd * dd
+		}
+		return -d2, true
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+	bad := []func(*Params){
+		func(p *Params) { p.CentersPerDim = 0 },
+		func(p *Params) { p.LengthsPerDim = 0 },
+		func(p *Params) { p.TimeBudget = -1 },
+		func(p *Params) { p.MaxKeep = 0 },
+	}
+	for i, mutate := range bad {
+		p := DefaultParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d should be invalid", i)
+		}
+	}
+}
+
+func TestRunRejectsOddSpace(t *testing.T) {
+	if _, err := Run(DefaultParams(), geom.Unit(3), bumpObjective([]float64{0}, -1)); err == nil {
+		t.Error("expected error for odd-dimensional space")
+	}
+	if _, err := Run(DefaultParams(), geom.Rect{}, bumpObjective([]float64{0}, -1)); err == nil {
+		t.Error("expected error for empty space")
+	}
+}
+
+func TestTotalCount(t *testing.T) {
+	// d=2, n=6 centers, m=6 lengths -> (6*6)^2 = 1296.
+	space := geom.SolutionSpace(geom.Unit(2), 0.01, 0.15)
+	res, err := Run(DefaultParams(), space, bumpObjective([]float64{0.5, 0.5}, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 1296 {
+		t.Errorf("Total = %d, want 1296", res.Total)
+	}
+	if res.Examined != 1296 {
+		t.Errorf("Examined = %d, want 1296", res.Examined)
+	}
+	if res.TimedOut {
+		t.Error("should not time out without a budget")
+	}
+	if res.ExaminedRatio() != 1 {
+		t.Errorf("ExaminedRatio = %g, want 1", res.ExaminedRatio())
+	}
+}
+
+func TestFindsBestGridPoint(t *testing.T) {
+	space := geom.SolutionSpace(geom.Unit(1), 0.01, 0.15)
+	target := []float64{0.4}
+	res, err := Run(DefaultParams(), space, bumpObjective(target, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regions) == 0 {
+		t.Fatal("no regions found")
+	}
+	best := res.Regions[0]
+	// Best grid center should be the closest of the 6 linspace points
+	// {0, 0.2, 0.4, 0.6, 0.8, 1} to 0.4, i.e. exactly 0.4.
+	if math.Abs(best.Vector[0]-0.4) > 1e-12 {
+		t.Errorf("best center = %g, want 0.4", best.Vector[0])
+	}
+	// Regions sorted by fitness descending.
+	for i := 1; i < len(res.Regions); i++ {
+		if res.Regions[i].Fitness > res.Regions[i-1].Fitness {
+			t.Fatal("regions not sorted by fitness")
+		}
+	}
+}
+
+func TestInvalidRegionsExcluded(t *testing.T) {
+	space := geom.SolutionSpace(geom.Unit(1), 0.01, 0.15)
+	res, err := Run(DefaultParams(), space, bumpObjective([]float64{1}, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Regions {
+		if r.Vector[0] < 0.5 {
+			t.Errorf("invalid region retained: %v", r.Vector)
+		}
+	}
+	// All candidates still count as examined.
+	if res.Examined != res.Total {
+		t.Errorf("Examined = %d, want %d", res.Examined, res.Total)
+	}
+}
+
+func TestMaxKeepCaps(t *testing.T) {
+	p := DefaultParams()
+	p.MaxKeep = 10
+	p.CentersPerDim = 20
+	p.LengthsPerDim = 20
+	space := geom.SolutionSpace(geom.Unit(1), 0.01, 0.15)
+	res, err := Run(p, space, bumpObjective([]float64{0.5}, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regions) > 10 {
+		t.Errorf("retained %d regions, cap is 10", len(res.Regions))
+	}
+	// The kept regions must be the global best ones: the top center
+	// must be a nearest grid point to the target (grid step 1/19).
+	if math.Abs(res.Regions[0].Vector[0]-0.5) > 0.5/19+1e-12 {
+		t.Errorf("best center = %g, want within half a grid step of 0.5", res.Regions[0].Vector[0])
+	}
+}
+
+func TestTimeBudget(t *testing.T) {
+	p := DefaultParams()
+	p.CentersPerDim = 40
+	p.LengthsPerDim = 40
+	p.TimeBudget = time.Microsecond
+	slow := gso.ObjectiveFunc(func(vec []float64) (float64, bool) {
+		time.Sleep(10 * time.Microsecond)
+		return 0, true
+	})
+	space := geom.SolutionSpace(geom.Unit(2), 0.01, 0.15)
+	res, err := Run(p, space, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Fatal("expected timeout")
+	}
+	if res.Examined >= res.Total {
+		t.Errorf("examined all %d candidates despite timeout", res.Total)
+	}
+	if r := res.ExaminedRatio(); r <= 0 || r >= 1 {
+		t.Errorf("ExaminedRatio = %g, want in (0,1)", r)
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	got := linspace(0, 1, 6)
+	want := []float64{0, 0.2, 0.4, 0.6, 0.8, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("linspace[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	single := linspace(2, 4, 1)
+	if len(single) != 1 || single[0] != 3 {
+		t.Errorf("single linspace = %v, want [3]", single)
+	}
+}
+
+func TestNaNFitnessExcluded(t *testing.T) {
+	obj := gso.ObjectiveFunc(func(vec []float64) (float64, bool) {
+		return math.NaN(), true
+	})
+	space := geom.SolutionSpace(geom.Unit(1), 0.01, 0.15)
+	res, err := Run(DefaultParams(), space, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regions) != 0 {
+		t.Errorf("NaN-fitness regions retained: %d", len(res.Regions))
+	}
+}

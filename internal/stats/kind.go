@@ -1,0 +1,103 @@
+package stats
+
+import "fmt"
+
+// Kind enumerates the statistic types the region evaluation engine can
+// compute. Count is the paper's "density" statistic, Mean the
+// "aggregate" one; the rest exercise Definition 3's claim that f can be
+// any decomposable or non-decomposable aggregate.
+type Kind int
+
+const (
+	// Count is the number of data vectors inside the region (density).
+	Count Kind = iota
+	// Sum is the sum of the target column inside the region.
+	Sum
+	// Mean is the average of the target column inside the region
+	// (the paper's "aggregate" statistic).
+	Mean
+	// Min is the minimum of the target column inside the region.
+	Min
+	// Max is the maximum of the target column inside the region.
+	Max
+	// Median is the exact median of the target column inside the
+	// region (non-decomposable).
+	Median
+	// Variance is the sample variance of the target column.
+	Variance
+	// StdDev is the sample standard deviation of the target column.
+	StdDev
+	// Ratio is the fraction of rows whose target column is non-zero
+	// (e.g. a 0/1 class-membership indicator).
+	Ratio
+)
+
+var kindNames = map[Kind]string{
+	Count:    "count",
+	Sum:      "sum",
+	Mean:     "mean",
+	Min:      "min",
+	Max:      "max",
+	Median:   "median",
+	Variance: "variance",
+	StdDev:   "stddev",
+	Ratio:    "ratio",
+}
+
+// String returns the lowercase name of the statistic.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind converts a statistic name (as accepted on CLI flags) to its
+// Kind.
+func ParseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if name == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("stats: unknown statistic %q", s)
+}
+
+// NeedsTarget reports whether the statistic reads a target column
+// (everything except Count).
+func (k Kind) NeedsTarget() bool { return k != Count }
+
+// Decomposable reports whether the statistic can be computed from
+// mergeable partial aggregates (relevant for the grid-index fast path).
+func (k Kind) Decomposable() bool {
+	switch k {
+	case Count, Sum, Mean, Min, Max, Ratio:
+		return true
+	}
+	return false
+}
+
+// NewAccumulator returns a fresh accumulator computing k.
+func (k Kind) NewAccumulator() Accumulator {
+	switch k {
+	case Count:
+		return &CountAcc{}
+	case Sum:
+		return &SumAcc{}
+	case Mean:
+		return &MeanAcc{}
+	case Min:
+		return &MinAcc{}
+	case Max:
+		return &MaxAcc{}
+	case Median:
+		return &MedianAcc{}
+	case Variance:
+		return &VarianceAcc{}
+	case StdDev:
+		return &StdDevAcc{}
+	case Ratio:
+		return &RatioAcc{}
+	}
+	panic(fmt.Sprintf("stats: NewAccumulator for unknown kind %d", int(k)))
+}

@@ -1,0 +1,80 @@
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"surf/internal/dataset"
+	"surf/internal/geom"
+)
+
+// WorkloadConfig configures past-query generation (paper Section V-A:
+// "centers x selected uniformly at random and region side lengths l
+// set to cover 1%−15% of the data domain").
+type WorkloadConfig struct {
+	// Queries is the number of past evaluations to produce.
+	Queries int
+	// MinSideFrac and MaxSideFrac bound the half-side lengths as
+	// fractions of each dimension's extent.
+	MinSideFrac float64
+	MaxSideFrac float64
+	// SkipUndefined drops queries whose statistic is undefined (NaN,
+	// e.g. the mean of an empty region) and draws replacements, up to
+	// 10× oversampling.
+	SkipUndefined bool
+	// Seed makes generation deterministic.
+	Seed uint64
+}
+
+// DefaultWorkloadConfig mirrors the paper's training workload.
+func DefaultWorkloadConfig(queries int) WorkloadConfig {
+	return WorkloadConfig{
+		Queries:       queries,
+		MinSideFrac:   0.01,
+		MaxSideFrac:   0.15,
+		SkipUndefined: true,
+		Seed:          13,
+	}
+}
+
+// GenerateWorkload executes random region queries against the true
+// evaluator and returns the resulting query log Q = {[x, l, y]}.
+func GenerateWorkload(ev dataset.Evaluator, domain geom.Rect, c WorkloadConfig) (dataset.QueryLog, error) {
+	if c.Queries < 1 {
+		return nil, errors.New("synth: Queries must be >= 1")
+	}
+	if c.MinSideFrac <= 0 || c.MaxSideFrac < c.MinSideFrac {
+		return nil, fmt.Errorf("synth: side fractions [%g, %g] invalid", c.MinSideFrac, c.MaxSideFrac)
+	}
+	d := ev.Dims()
+	if domain.Dims() != d {
+		return nil, fmt.Errorf("synth: domain of dimension %d for evaluator of dimension %d", domain.Dims(), d)
+	}
+	rng := rand.New(rand.NewPCG(c.Seed, 0x94d049bb133111eb))
+
+	log := make(dataset.QueryLog, 0, c.Queries)
+	budget := c.Queries
+	if c.SkipUndefined {
+		budget = 10 * c.Queries
+	}
+	for attempt := 0; attempt < budget && len(log) < c.Queries; attempt++ {
+		x := make([]float64, d)
+		l := make([]float64, d)
+		for j := 0; j < d; j++ {
+			extent := domain.Max[j] - domain.Min[j]
+			x[j] = domain.Min[j] + rng.Float64()*extent
+			l[j] = (c.MinSideFrac + rng.Float64()*(c.MaxSideFrac-c.MinSideFrac)) * extent
+		}
+		y, _ := ev.Evaluate(geom.FromCenter(x, l))
+		if c.SkipUndefined && math.IsNaN(y) {
+			continue
+		}
+		log = append(log, dataset.Query{X: x, L: l, Y: y})
+	}
+	if len(log) < c.Queries {
+		return nil, fmt.Errorf("synth: only %d/%d defined queries after oversampling (statistic undefined almost everywhere?)", len(log), c.Queries)
+	}
+	return log, nil
+}

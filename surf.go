@@ -1,0 +1,647 @@
+// Package surf mines "interesting" data regions: axis-aligned
+// hyper-rectangles whose statistic (count, mean, ratio, …) exceeds or
+// falls below an analyst-supplied threshold.
+//
+// It implements SuRF (SUrrogate Region Finder) from Savva,
+// Anagnostopoulos & Triantafillou, "SuRF: Identification of
+// Interesting Data Regions with Surrogate Models", ICDE 2020. Instead
+// of scanning the dataset for every candidate region, SuRF trains a
+// gradient-boosted-tree surrogate on past region evaluations and runs
+// Glowworm Swarm Optimization over the region space, so query time is
+// independent of the data size.
+//
+// Typical use:
+//
+//	ds, _ := surf.NewDataset([]string{"x", "y"}, cols)
+//	eng, _ := surf.Open(ds, surf.Config{
+//		FilterColumns: []string{"x", "y"},
+//		Statistic:     surf.Count,
+//	})
+//	wl, _ := eng.GenerateWorkload(5000, 1)     // past evaluations
+//	_ = eng.TrainSurrogate(wl)                 // fit f̂
+//	res, _ := eng.Find(surf.Query{Threshold: 1000, Above: true})
+//	for _, r := range res.Regions { fmt.Println(r.Min, r.Max, r.Estimate) }
+package surf
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"surf/internal/core"
+	"surf/internal/dataset"
+	"surf/internal/gbt"
+	"surf/internal/geom"
+	"surf/internal/gso"
+	"surf/internal/ml"
+	"surf/internal/stats"
+	"surf/internal/synth"
+)
+
+// Statistic enumerates the supported region statistics.
+type Statistic int
+
+// Supported statistics. Count is the paper's "density" statistic; Mean
+// over a target column is its "aggregate" statistic.
+const (
+	Count Statistic = iota
+	Sum
+	Mean
+	Min
+	Max
+	Median
+	Variance
+	StdDev
+	Ratio
+)
+
+var statKinds = [...]stats.Kind{
+	Count: stats.Count, Sum: stats.Sum, Mean: stats.Mean, Min: stats.Min,
+	Max: stats.Max, Median: stats.Median, Variance: stats.Variance,
+	StdDev: stats.StdDev, Ratio: stats.Ratio,
+}
+
+// String names the statistic.
+func (s Statistic) String() string {
+	if s >= 0 && int(s) < len(statKinds) {
+		return statKinds[s].String()
+	}
+	return fmt.Sprintf("Statistic(%d)", int(s))
+}
+
+// ParseStatistic converts a name like "count" or "mean" to a
+// Statistic.
+func ParseStatistic(name string) (Statistic, error) {
+	k, err := stats.ParseKind(name)
+	if err != nil {
+		return 0, err
+	}
+	for s, kk := range statKinds {
+		if kk == k {
+			return Statistic(s), nil
+		}
+	}
+	return 0, fmt.Errorf("surf: unmapped statistic %q", name)
+}
+
+// Dataset is an immutable, in-memory columnar dataset.
+type Dataset struct {
+	inner *dataset.Dataset
+}
+
+// NewDataset builds a dataset from named float columns (ownership of
+// the column slices passes to the dataset).
+func NewDataset(names []string, cols [][]float64) (*Dataset, error) {
+	d, err := dataset.New(names, cols)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{inner: d}, nil
+}
+
+// ReadCSVDataset reads a numeric CSV with a header row.
+func ReadCSVDataset(r io.Reader) (*Dataset, error) {
+	d, err := dataset.ReadCSV(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{inner: d}, nil
+}
+
+// Len returns the number of rows.
+func (d *Dataset) Len() int { return d.inner.Len() }
+
+// Names returns the column names.
+func (d *Dataset) Names() []string { return d.inner.Names() }
+
+// Column returns a copy of the named column (nil if absent).
+func (d *Dataset) Column(name string) []float64 {
+	i := d.inner.ColByName(name)
+	if i < 0 {
+		return nil
+	}
+	return append([]float64(nil), d.inner.Col(i)...)
+}
+
+// WriteCSV writes the dataset as CSV with a header row.
+func (d *Dataset) WriteCSV(w io.Writer) error { return d.inner.WriteCSV(w) }
+
+// Config describes what a region query computes over a dataset.
+type Config struct {
+	// FilterColumns are the columns the hyper-rectangles constrain,
+	// in region-dimension order.
+	FilterColumns []string
+	// Statistic is the aggregate extracted from each region.
+	Statistic Statistic
+	// TargetColumn is the aggregated column (ignored for Count). Per
+	// the paper's Definition 2 it must not also be a filter column.
+	TargetColumn string
+	// UseGridIndex builds a uniform grid index for true-function
+	// evaluations instead of linear scans. Recommended for repeated
+	// evaluation on low-dimensional data.
+	UseGridIndex bool
+}
+
+// Engine couples a dataset with a region-query spec, a (lazy)
+// surrogate model, and the mining pipeline.
+type Engine struct {
+	data      *dataset.Dataset
+	spec      dataset.Spec
+	evaluator dataset.Evaluator
+	domain    geom.Rect
+	surrogate *core.Surrogate
+}
+
+// Open validates the config against the dataset and returns an engine.
+func Open(ds *Dataset, cfg Config) (*Engine, error) {
+	if ds == nil {
+		return nil, errors.New("surf: nil dataset")
+	}
+	if int(cfg.Statistic) < 0 || int(cfg.Statistic) >= len(statKinds) {
+		return nil, fmt.Errorf("surf: unknown statistic %d", int(cfg.Statistic))
+	}
+	if len(cfg.FilterColumns) == 0 {
+		return nil, errors.New("surf: no filter columns")
+	}
+	spec := dataset.Spec{Stat: statKinds[cfg.Statistic]}
+	for _, name := range cfg.FilterColumns {
+		i := ds.inner.ColByName(name)
+		if i < 0 {
+			return nil, fmt.Errorf("surf: unknown filter column %q", name)
+		}
+		spec.FilterCols = append(spec.FilterCols, i)
+	}
+	if spec.Stat.NeedsTarget() {
+		i := ds.inner.ColByName(cfg.TargetColumn)
+		if i < 0 {
+			return nil, fmt.Errorf("surf: unknown target column %q", cfg.TargetColumn)
+		}
+		spec.TargetCol = i
+	}
+	if err := spec.Validate(ds.inner); err != nil {
+		return nil, err
+	}
+	var ev dataset.Evaluator
+	var err error
+	if cfg.UseGridIndex {
+		ev, err = dataset.NewGridIndex(ds.inner, spec, 0)
+	} else {
+		ev, err = dataset.NewLinearScan(ds.inner, spec)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		data:      ds.inner,
+		spec:      spec,
+		evaluator: ev,
+		domain:    ds.inner.Domain(spec.FilterCols),
+	}, nil
+}
+
+// Dims returns the region dimensionality d.
+func (e *Engine) Dims() int { return len(e.spec.FilterCols) }
+
+// Domain returns the data-space bounding box of the filter columns as
+// (min, max) slices.
+func (e *Engine) Domain() (min, max []float64) {
+	return append([]float64(nil), e.domain.Min...), append([]float64(nil), e.domain.Max...)
+}
+
+// Evaluate computes the true statistic over the region [center ±
+// halfSides] plus the number of rows inside. This is the expensive
+// back-end call the surrogate replaces.
+func (e *Engine) Evaluate(center, halfSides []float64) (value float64, count int) {
+	return e.evaluator.Evaluate(geom.FromCenter(center, halfSides))
+}
+
+// Workload is a log of past region evaluations used as surrogate
+// training data.
+type Workload struct {
+	log dataset.QueryLog
+}
+
+// Len returns the number of logged queries.
+func (w Workload) Len() int { return len(w.log) }
+
+// Labels returns the logged statistic values, one per query — useful
+// for picking data-driven thresholds (e.g. the paper's yR = Q3 of
+// random region evaluations).
+func (w Workload) Labels() []float64 {
+	out := make([]float64, len(w.log))
+	for i, q := range w.log {
+		out[i] = q.Y
+	}
+	return out
+}
+
+// WriteCSV serializes the workload (x1..xd, l1..ld, y columns).
+func (w Workload) WriteCSV(out io.Writer) error { return w.log.WriteCSV(out) }
+
+// ReadWorkloadCSV reads a workload written by WriteCSV.
+func ReadWorkloadCSV(r io.Reader) (Workload, error) {
+	log, err := dataset.ReadQueryLogCSV(r)
+	if err != nil {
+		return Workload{}, err
+	}
+	return Workload{log: log}, nil
+}
+
+// GenerateWorkload executes n random region queries against the true
+// evaluator (centers uniform over the domain, half-sides 1–15% of the
+// extent, the paper's training workload) and returns the log.
+func (e *Engine) GenerateWorkload(n int, seed uint64) (Workload, error) {
+	cfg := synth.DefaultWorkloadConfig(n)
+	cfg.Seed = seed
+	log, err := synth.GenerateWorkload(e.evaluator, e.domain, cfg)
+	if err != nil {
+		return Workload{}, err
+	}
+	return Workload{log: log}, nil
+}
+
+// TrainOptions tune surrogate training.
+type TrainOptions struct {
+	// Trees, LearningRate, MaxDepth, Lambda override the boosted-tree
+	// hyper-parameters (zero keeps the default: 100 trees, 0.1 rate,
+	// depth 6, λ=1).
+	Trees        int
+	LearningRate float64
+	MaxDepth     int
+	Lambda       float64
+	// HyperTune runs the paper's 144-combination grid search with
+	// K-fold CV before the final fit. Slower but more accurate.
+	HyperTune bool
+	// CVFolds is the fold count for HyperTune (default 3).
+	CVFolds int
+	// Seed drives subsampling and CV shuffling.
+	Seed uint64
+}
+
+func (o TrainOptions) params() gbt.Params {
+	p := gbt.DefaultParams()
+	if o.Trees > 0 {
+		p.NumTrees = o.Trees
+	}
+	if o.LearningRate > 0 {
+		p.LearningRate = o.LearningRate
+	}
+	if o.MaxDepth > 0 {
+		p.MaxDepth = o.MaxDepth
+	}
+	if o.Lambda > 0 {
+		p.Lambda = o.Lambda
+	}
+	if o.Seed != 0 {
+		p.Seed = o.Seed
+	}
+	return p
+}
+
+// TrainSurrogate fits the engine's surrogate model f̂ on a workload.
+// Training happens once; every later Find reuses the model.
+func (e *Engine) TrainSurrogate(w Workload, opts ...TrainOptions) error {
+	var o TrainOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if o.HyperTune {
+		folds := o.CVFolds
+		if folds == 0 {
+			folds = 3
+		}
+		s, _, err := core.TrainSurrogateCV(w.log, o.params(), ml.GBTGrid(), folds, o.Seed+1)
+		if err != nil {
+			return err
+		}
+		e.surrogate = s
+		return nil
+	}
+	s, err := core.TrainSurrogate(w.log, o.params())
+	if err != nil {
+		return err
+	}
+	e.surrogate = s
+	return nil
+}
+
+// HasSurrogate reports whether a surrogate has been trained or loaded.
+func (e *Engine) HasSurrogate() bool { return e.surrogate != nil }
+
+// SaveSurrogate persists the trained surrogate.
+func (e *Engine) SaveSurrogate(w io.Writer) error {
+	if e.surrogate == nil {
+		return errors.New("surf: no surrogate trained")
+	}
+	return e.surrogate.Save(w)
+}
+
+// LoadSurrogate restores a surrogate saved with SaveSurrogate.
+func (e *Engine) LoadSurrogate(r io.Reader) error {
+	s, err := core.LoadSurrogate(r)
+	if err != nil {
+		return err
+	}
+	if s.Dims() != e.Dims() {
+		return fmt.Errorf("surf: surrogate of dimension %d for engine of dimension %d", s.Dims(), e.Dims())
+	}
+	e.surrogate = s
+	return nil
+}
+
+// PredictStatistic returns the surrogate's estimate for a region
+// without touching the data.
+func (e *Engine) PredictStatistic(center, halfSides []float64) (float64, error) {
+	if e.surrogate == nil {
+		return 0, errors.New("surf: no surrogate trained")
+	}
+	return e.surrogate.Predict(center, halfSides), nil
+}
+
+// Query is one mining request.
+type Query struct {
+	// Threshold is the statistic cut-off yR.
+	Threshold float64
+	// Above selects regions with f > Threshold; false selects f <
+	// Threshold.
+	Above bool
+	// C is the region-size regularizer (default 4; larger prefers
+	// smaller regions).
+	C float64
+	// MaxRegions caps the number of returned regions (default 16).
+	MaxRegions int
+	// UseTrueFunction bypasses the surrogate and optimizes against
+	// the real dataset evaluator (the paper's f+GlowWorm baseline) —
+	// accurate but O(N) per evaluation.
+	UseTrueFunction bool
+	// UseKDE enables the data-density selection prior (Eq. 8).
+	UseKDE bool
+	// KDESample caps the KDE sample size (default 1000).
+	KDESample int
+	// Glowworms and Iterations override the swarm size and budget
+	// (defaults: L = 50·2d worms, T = 100).
+	Glowworms  int
+	Iterations int
+	// MinSideFrac and MaxSideFrac bound region half-sides as
+	// fractions of the domain extent (defaults 0.01 and 0.15 — the
+	// surrogate's training range). Raising MinSideFrac keeps the
+	// size-regularized objective from shrinking regions below the
+	// scale the surrogate was trained on.
+	MinSideFrac float64
+	MaxSideFrac float64
+	// Workers parallelizes the swarm's fitness evaluations across
+	// this many goroutines (0 or 1 = sequential). Results are
+	// bit-identical to the sequential run.
+	Workers int
+	// SkipVerify leaves regions unverified against the true f
+	// (verification costs one data scan per region).
+	SkipVerify bool
+	// ClusterExtents reports each swarm cluster's bounding region
+	// instead of individual converged particles. With a size
+	// regularizer C > 0 particles shrink toward the smallest
+	// acceptable boxes while collectively carpeting the interesting
+	// region; cluster extents recover the region's full footprint.
+	// Recommended for statistics that do not shrink with region size
+	// (Mean, Ratio, Min, Max).
+	ClusterExtents bool
+	// Seed makes the run deterministic.
+	Seed uint64
+}
+
+// Region is one mined region.
+type Region struct {
+	// Min and Max bound the hyper-rectangle per filter dimension.
+	Min, Max []float64
+	// Estimate is the statistic value the optimizer's model assigned.
+	Estimate float64
+	// Score is the objective value (higher = better under the size
+	// regularizer).
+	Score float64
+	// Worms is how many swarm particles converged to this region.
+	Worms int
+	// TrueValue and Satisfies are set when the region was verified
+	// against the dataset.
+	TrueValue float64
+	Verified  bool
+	Satisfies bool
+}
+
+// Result is a mining outcome.
+type Result struct {
+	// Regions are the mined regions, best objective first.
+	Regions []Region
+	// ValidParticleFraction is the share of swarm particles ending on
+	// constraint-satisfying positions.
+	ValidParticleFraction float64
+	// ComplianceRate is the fraction of regions that verified against
+	// the true statistic (NaN when verification was skipped).
+	ComplianceRate float64
+	// ElapsedSeconds is the mining wall-clock time.
+	ElapsedSeconds float64
+}
+
+// TopKQuery requests the k highest- (or lowest-) statistic regions —
+// the complementary formulation to threshold queries discussed in the
+// paper's Section VI; use it when k is known and the threshold is not.
+type TopKQuery struct {
+	// K is the number of regions requested.
+	K int
+	// Largest selects the highest-statistic regions; false the
+	// lowest.
+	Largest bool
+	// C is the region-size regularizer (default 4).
+	C float64
+	// UseTrueFunction bypasses the surrogate (O(N) per evaluation).
+	UseTrueFunction bool
+	// Glowworms, Iterations, MinSideFrac, MaxSideFrac and Seed behave
+	// as in Query.
+	Glowworms   int
+	Iterations  int
+	MinSideFrac float64
+	MaxSideFrac float64
+	// SkipVerify leaves regions unverified against the true
+	// statistic.
+	SkipVerify bool
+	Seed       uint64
+}
+
+// FindTopK mines the k most extreme regions by statistic value.
+// Returned regions carry the model's Estimate; unless SkipVerify is
+// set, TrueValue is filled from the dataset (Satisfies is not
+// meaningful for top-k queries and stays false).
+func (e *Engine) FindTopK(q TopKQuery) (*Result, error) {
+	var statFn core.StatFn
+	switch {
+	case q.UseTrueFunction:
+		statFn = core.StatFnFromEvaluator(e.evaluator)
+	case e.surrogate != nil:
+		statFn = e.surrogate.StatFn()
+	default:
+		return nil, errors.New("surf: no surrogate trained (call TrainSurrogate, LoadSurrogate, or set UseTrueFunction)")
+	}
+	finder, err := core.NewFinder(statFn, e.domain)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.TopKConfig{
+		K:           q.K,
+		Largest:     q.Largest,
+		C:           q.C,
+		MinSideFrac: q.MinSideFrac,
+		MaxSideFrac: q.MaxSideFrac,
+	}
+	if q.Glowworms > 0 || q.Iterations > 0 || q.Seed > 0 {
+		g := gso.DefaultParams()
+		if q.Glowworms > 0 {
+			g.Glowworms = q.Glowworms
+		} else {
+			g.Glowworms = 50 * 2 * e.Dims()
+		}
+		if q.Iterations > 0 {
+			g.MaxIters = q.Iterations
+		}
+		if q.Seed > 0 {
+			g.Seed = q.Seed
+		}
+		cfg.GSO = g
+	}
+	res, err := finder.FindTopK(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{ComplianceRate: math.NaN()}
+	trueFn := core.StatFnFromEvaluator(e.evaluator)
+	for _, r := range res.Regions {
+		region := Region{
+			Min:      append([]float64(nil), r.Rect.Min...),
+			Max:      append([]float64(nil), r.Rect.Max...),
+			Estimate: r.Estimate,
+			Worms:    r.Worms,
+		}
+		if !q.SkipVerify {
+			region.TrueValue = trueFn(r.Rect.Center(), r.Rect.HalfSides())
+			region.Verified = true
+		}
+		out.Regions = append(out.Regions, region)
+	}
+	return out, nil
+}
+
+// Find mines interesting regions for the query. Unless
+// q.UseTrueFunction is set, a trained surrogate is required.
+func (e *Engine) Find(q Query) (*Result, error) {
+	var statFn core.StatFn
+	switch {
+	case q.UseTrueFunction:
+		statFn = core.StatFnFromEvaluator(e.evaluator)
+	case e.surrogate != nil:
+		statFn = e.surrogate.StatFn()
+	default:
+		return nil, errors.New("surf: no surrogate trained (call TrainSurrogate, LoadSurrogate, or set UseTrueFunction)")
+	}
+	finder, err := core.NewFinder(statFn, e.domain)
+	if err != nil {
+		return nil, err
+	}
+	dir := core.Below
+	if q.Above {
+		dir = core.Above
+	}
+	cfg := core.FinderConfig{
+		Threshold:   q.Threshold,
+		Dir:         dir,
+		C:           q.C,
+		MaxRegions:  q.MaxRegions,
+		UseKDE:      q.UseKDE,
+		MinSideFrac: q.MinSideFrac,
+		MaxSideFrac: q.MaxSideFrac,
+	}
+	if q.Glowworms > 0 || q.Iterations > 0 || q.Seed > 0 || q.Workers > 1 {
+		g := gso.DefaultParams()
+		if q.Glowworms > 0 {
+			g.Glowworms = q.Glowworms
+		} else {
+			g.Glowworms = 50 * 2 * e.Dims()
+		}
+		if q.Iterations > 0 {
+			g.MaxIters = q.Iterations
+		}
+		if q.Seed > 0 {
+			g.Seed = q.Seed
+		}
+		if q.Workers > 1 {
+			g.Workers = q.Workers
+		}
+		cfg.GSO = g
+	}
+	if q.UseKDE {
+		sample := q.KDESample
+		if sample == 0 {
+			sample = 1000
+		}
+		points := make([][]float64, e.data.Len())
+		for i := range points {
+			row := make([]float64, e.Dims())
+			for j, c := range e.spec.FilterCols {
+				row[j] = e.data.Col(c)[i]
+			}
+			points[i] = row
+		}
+		if err := finder.AttachDensity(points, sample, q.Seed+17); err != nil {
+			return nil, err
+		}
+	}
+	res, err := finder.Find(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if q.ClusterExtents {
+		maxRegions := cfg.MaxRegions
+		if maxRegions == 0 {
+			maxRegions = 16
+		}
+		clusters := core.ClusterRegions(res.Swarm, e.domain, 0.08)
+		if len(clusters) > maxRegions {
+			clusters = clusters[:maxRegions]
+		}
+		regions := make([]core.Region, 0, len(clusters))
+		for _, rect := range clusters {
+			regions = append(regions, core.Region{
+				Rect:     rect,
+				Estimate: statFn(rect.Center(), rect.HalfSides()),
+				Worms:    1,
+			})
+		}
+		res.Regions = regions
+	}
+	compliance := math.NaN()
+	if !q.SkipVerify {
+		objCfg := core.ObjectiveConfig{YR: cfg.Threshold, Dir: dir, C: cfg.C}
+		if objCfg.C == 0 {
+			objCfg.C = 4
+		}
+		compliance, err = core.Verify(res.Regions, core.StatFnFromEvaluator(e.evaluator), objCfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := &Result{
+		ValidParticleFraction: res.ValidFrac,
+		ComplianceRate:        compliance,
+		ElapsedSeconds:        res.Elapsed.Seconds(),
+	}
+	for _, r := range res.Regions {
+		out.Regions = append(out.Regions, Region{
+			Min:       append([]float64(nil), r.Rect.Min...),
+			Max:       append([]float64(nil), r.Rect.Max...),
+			Estimate:  r.Estimate,
+			Score:     r.Score,
+			Worms:     r.Worms,
+			TrueValue: r.TrueValue,
+			Verified:  r.Verified,
+			Satisfies: r.SatisfiesTrue,
+		})
+	}
+	return out, nil
+}
