@@ -11,12 +11,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"surf/internal/cli"
 	"surf/internal/experiments"
 )
 
@@ -34,13 +36,17 @@ func main() {
 		}
 		return
 	}
-	if err := run(*exp, *scale, *out); err != nil {
-		fmt.Fprintln(os.Stderr, "surf-bench:", err)
-		os.Exit(1)
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	if err := runContext(ctx, *exp, *scale, *out); err != nil {
+		cli.Exit("surf-bench", err)
 	}
 }
 
-func run(exp, scaleName, out string) error {
+// runContext executes the selected experiments, checking for
+// cancellation between runners (individual experiments run to
+// completion).
+func runContext(ctx context.Context, exp, scaleName, out string) error {
 	var scale experiments.Scale
 	switch scaleName {
 	case "small":
@@ -65,6 +71,9 @@ func run(exp, scaleName, out string) error {
 	}
 
 	for _, r := range runners {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		fmt.Printf("--- running %s (%s scale): %s\n", r.ID, scale, r.Description)
 		start := time.Now()
 		rep, err := r.Run(scale)

@@ -1,16 +1,17 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
 )
 
 func TestRunValidation(t *testing.T) {
-	if err := run("fig2", "bogus", ""); err == nil {
+	if err := runContext(context.Background(), "fig2", "bogus", ""); err == nil {
 		t.Error("expected error for unknown scale")
 	}
-	if err := run("nope", "small", ""); err == nil {
+	if err := runContext(context.Background(), "nope", "small", ""); err == nil {
 		t.Error("expected error for unknown experiment")
 	}
 }
@@ -18,7 +19,7 @@ func TestRunValidation(t *testing.T) {
 func TestRunSingleExperiment(t *testing.T) {
 	dir := t.TempDir()
 	// fig2 is the cheapest experiment with real output.
-	if err := run("fig2", "small", dir); err != nil {
+	if err := runContext(context.Background(), "fig2", "small", dir); err != nil {
 		t.Fatal(err)
 	}
 	csv := filepath.Join(dir, "fig2_datasets.csv")
@@ -32,7 +33,7 @@ func TestRunSingleExperiment(t *testing.T) {
 }
 
 func TestRunCommaSeparatedList(t *testing.T) {
-	if err := run("fig2,fig7", "small", ""); err != nil {
+	if err := runContext(context.Background(), "fig2,fig7", "small", ""); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -12,12 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	surf "surf"
+	"surf/internal/cli"
 )
 
 func main() {
@@ -39,13 +41,14 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "optimizer seed")
 	)
 	flag.Parse()
-	if err := run(*dataPath, *filters, *stat, *target, *modelPath, *useTrue, *threshold, *above, *below, *c, *clusters, *kde, *topk, *maxOut, *seed); err != nil {
-		fmt.Fprintln(os.Stderr, "surf-find:", err)
-		os.Exit(1)
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	if err := run(ctx, *dataPath, *filters, *stat, *target, *modelPath, *useTrue, *threshold, *above, *below, *c, *clusters, *kde, *topk, *maxOut, *seed); err != nil {
+		cli.Exit("surf-find", err)
 	}
 }
 
-func run(dataPath, filters, stat, target, modelPath string, useTrue bool, threshold float64, above, below bool, c float64, clusters, kde bool, topk, maxOut int, seed uint64) error {
+func run(ctx context.Context, dataPath, filters, stat, target, modelPath string, useTrue bool, threshold float64, above, below bool, c float64, clusters, kde bool, topk, maxOut int, seed uint64) error {
 	if dataPath == "" || filters == "" {
 		return fmt.Errorf("-data and -filters are required")
 	}
@@ -91,7 +94,7 @@ func run(dataPath, filters, stat, target, modelPath string, useTrue bool, thresh
 
 	var res *surf.Result
 	if topk > 0 {
-		res, err = eng.FindTopK(surf.TopKQuery{
+		res, err = eng.FindTopKContext(ctx, surf.TopKQuery{
 			K:               topk,
 			Largest:         above,
 			C:               c,
@@ -107,7 +110,7 @@ func run(dataPath, filters, stat, target, modelPath string, useTrue bool, thresh
 		}
 		fmt.Printf("query: top-%d %s-%s(%s) over %s\n", topk, order, stat, filters, dataPath)
 	} else {
-		res, err = eng.Find(surf.Query{
+		res, err = eng.FindContext(ctx, surf.Query{
 			Threshold:       threshold,
 			Above:           above,
 			C:               c,

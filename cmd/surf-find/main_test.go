@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"math/rand/v2"
 	"os"
 	"path/filepath"
@@ -42,16 +43,16 @@ func clusteredDataset(t *testing.T, dir string) string {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("", "", "count", "", "", false, 1, true, false, 4, false, false, 0, 5, 1); err == nil {
+	if err := run(context.Background(), "", "", "count", "", "", false, 1, true, false, 4, false, false, 0, 5, 1); err == nil {
 		t.Error("expected error without -data/-filters")
 	}
-	if err := run("x.csv", "x", "count", "", "", false, 1, true, true, 4, false, false, 0, 5, 1); err == nil {
+	if err := run(context.Background(), "x.csv", "x", "count", "", "", false, 1, true, true, 4, false, false, 0, 5, 1); err == nil {
 		t.Error("expected error for both -above and -below")
 	}
-	if err := run("x.csv", "x", "count", "", "", false, 1, false, false, 4, false, false, 0, 5, 1); err == nil {
+	if err := run(context.Background(), "x.csv", "x", "count", "", "", false, 1, false, false, 4, false, false, 0, 5, 1); err == nil {
 		t.Error("expected error for neither -above nor -below")
 	}
-	if err := run("x.csv", "x", "count", "", "", false, 1, true, false, 4, false, false, 0, 5, 1); err == nil {
+	if err := run(context.Background(), "x.csv", "x", "count", "", "", false, 1, true, false, 4, false, false, 0, 5, 1); err == nil {
 		t.Error("expected error without -model or -true")
 	}
 }
@@ -59,7 +60,7 @@ func TestRunValidation(t *testing.T) {
 func TestRunTrueFunction(t *testing.T) {
 	dir := t.TempDir()
 	data := clusteredDataset(t, dir)
-	if err := run(data, "x,y", "count", "", "", true, 200, true, false, 4, true, false, 0, 5, 1); err != nil {
+	if err := run(context.Background(), data, "x,y", "count", "", "", true, 200, true, false, 4, true, false, 0, 5, 1); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -67,7 +68,7 @@ func TestRunTrueFunction(t *testing.T) {
 func TestRunWithKDE(t *testing.T) {
 	dir := t.TempDir()
 	data := clusteredDataset(t, dir)
-	if err := run(data, "x,y", "count", "", "", true, 100, true, false, 4, false, true, 0, 3, 2); err != nil {
+	if err := run(context.Background(), data, "x,y", "count", "", "", true, 100, true, false, 4, false, true, 0, 3, 2); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -75,7 +76,7 @@ func TestRunWithKDE(t *testing.T) {
 func TestRunTopK(t *testing.T) {
 	dir := t.TempDir()
 	data := clusteredDataset(t, dir)
-	if err := run(data, "x,y", "count", "", "", true, 0, true, false, 4, false, false, 2, 5, 1); err != nil {
+	if err := run(context.Background(), data, "x,y", "count", "", "", true, 0, true, false, 4, false, false, 2, 5, 1); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -11,10 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"surf/internal/cli"
 	"surf/internal/dataset"
 	"surf/internal/synth"
 )
@@ -31,13 +33,14 @@ func main() {
 		workloadOut = flag.String("workload-out", "", "workload CSV path (required with -workload)")
 	)
 	flag.Parse()
-	if err := run(*typ, *dims, *regions, *n, *seed, *out, *workload, *workloadOut); err != nil {
-		fmt.Fprintln(os.Stderr, "surf-gen:", err)
-		os.Exit(1)
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	if err := run(ctx, *typ, *dims, *regions, *n, *seed, *out, *workload, *workloadOut); err != nil {
+		cli.Exit("surf-gen", err)
 	}
 }
 
-func run(typ string, dims, regions, n int, seed uint64, out string, workload int, workloadOut string) error {
+func run(ctx context.Context, typ string, dims, regions, n int, seed uint64, out string, workload int, workloadOut string) error {
 	if out == "" {
 		return fmt.Errorf("-out is required")
 	}
@@ -81,6 +84,11 @@ func run(typ string, dims, regions, n int, seed uint64, out string, workload int
 	default:
 		return fmt.Errorf("unknown -type %q", typ)
 	}
+	// Generation itself is not context-aware; honor an interrupt that
+	// arrived during it before writing anything to disk.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
 	f, err := os.Create(out)
 	if err != nil {
@@ -102,7 +110,7 @@ func run(typ string, dims, regions, n int, seed uint64, out string, workload int
 		}
 		wcfg := synth.DefaultWorkloadConfig(workload)
 		wcfg.Seed = seed + 1
-		log, err := synth.GenerateWorkload(ev, data.Domain(spec.FilterCols), wcfg)
+		log, err := synth.GenerateWorkloadContext(ctx, ev, data.Domain(spec.FilterCols), wcfg)
 		if err != nil {
 			return err
 		}

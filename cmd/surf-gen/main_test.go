@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -8,13 +9,13 @@ import (
 )
 
 func TestRunValidation(t *testing.T) {
-	if err := run("density", 2, 1, 100, 1, "", 0, ""); err == nil {
+	if err := run(context.Background(), "density", 2, 1, 100, 1, "", 0, ""); err == nil {
 		t.Error("expected error without -out")
 	}
-	if err := run("density", 2, 1, 100, 1, "/tmp/x.csv", 10, ""); err == nil {
+	if err := run(context.Background(), "density", 2, 1, 100, 1, "/tmp/x.csv", 10, ""); err == nil {
 		t.Error("expected error for -workload without -workload-out")
 	}
-	if err := run("bogus", 2, 1, 100, 1, filepath.Join(t.TempDir(), "x.csv"), 0, ""); err == nil {
+	if err := run(context.Background(), "bogus", 2, 1, 100, 1, filepath.Join(t.TempDir(), "x.csv"), 0, ""); err == nil {
 		t.Error("expected error for unknown type")
 	}
 }
@@ -23,7 +24,7 @@ func TestRunGeneratesAllTypes(t *testing.T) {
 	dir := t.TempDir()
 	for _, typ := range []string{"density", "aggregate", "crimes", "har"} {
 		out := filepath.Join(dir, typ+".csv")
-		if err := run(typ, 2, 1, 500, 1, out, 0, ""); err != nil {
+		if err := run(context.Background(), typ, 2, 1, 500, 1, out, 0, ""); err != nil {
 			t.Fatalf("%s: %v", typ, err)
 		}
 		data, err := os.ReadFile(out)
@@ -41,7 +42,7 @@ func TestRunWithWorkload(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "d.csv")
 	wout := filepath.Join(dir, "w.csv")
-	if err := run("density", 1, 1, 1000, 2, out, 50, wout); err != nil {
+	if err := run(context.Background(), "density", 1, 1, 1000, 2, out, 50, wout); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(wout)

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	surf "surf"
+	"surf/internal/cli"
 )
 
 func main() {
@@ -36,13 +38,14 @@ func main() {
 		out       = flag.String("out", "model.surf", "output model path")
 	)
 	flag.Parse()
-	if err := run(*dataPath, *filters, *stat, *target, *queries, *workload, *hypertune, *trees, *depth, *seed, *out); err != nil {
-		fmt.Fprintln(os.Stderr, "surf-train:", err)
-		os.Exit(1)
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	if err := run(ctx, *dataPath, *filters, *stat, *target, *queries, *workload, *hypertune, *trees, *depth, *seed, *out); err != nil {
+		cli.Exit("surf-train", err)
 	}
 }
 
-func run(dataPath, filters, stat, target string, queries int, workloadPath string, hypertune bool, trees, depth int, seed uint64, out string) error {
+func run(ctx context.Context, dataPath, filters, stat, target string, queries int, workloadPath string, hypertune bool, trees, depth int, seed uint64, out string) error {
 	if dataPath == "" || filters == "" {
 		return fmt.Errorf("-data and -filters are required")
 	}
@@ -83,7 +86,7 @@ func run(dataPath, filters, stat, target string, queries int, workloadPath strin
 		fmt.Printf("loaded %d past evaluations from %s\n", wl.Len(), workloadPath)
 	} else {
 		start := time.Now()
-		wl, err = eng.GenerateWorkload(queries, seed)
+		wl, err = eng.GenerateWorkloadContext(ctx, queries, seed)
 		if err != nil {
 			return err
 		}
@@ -91,7 +94,7 @@ func run(dataPath, filters, stat, target string, queries int, workloadPath strin
 	}
 
 	start := time.Now()
-	err = eng.TrainSurrogate(wl, surf.TrainOptions{
+	err = eng.TrainSurrogateContext(ctx, wl, surf.TrainOptions{
 		Trees: trees, MaxDepth: depth, HyperTune: hypertune, Seed: seed,
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -35,15 +36,15 @@ func writeDataset(t *testing.T, dir string) string {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("", "", "count", "", 10, "", false, 0, 0, 1, "x"); err == nil {
+	if err := run(context.Background(), "", "", "count", "", 10, "", false, 0, 0, 1, "x"); err == nil {
 		t.Error("expected error without -data/-filters")
 	}
-	if err := run("/nonexistent.csv", "x", "count", "", 10, "", false, 0, 0, 1, "x"); err == nil {
+	if err := run(context.Background(), "/nonexistent.csv", "x", "count", "", 10, "", false, 0, 0, 1, "x"); err == nil {
 		t.Error("expected error for missing data file")
 	}
 	dir := t.TempDir()
 	data := writeDataset(t, dir)
-	if err := run(data, "x,y", "bogus", "", 10, "", false, 0, 0, 1, "x"); err == nil {
+	if err := run(context.Background(), data, "x,y", "bogus", "", 10, "", false, 0, 0, 1, "x"); err == nil {
 		t.Error("expected error for unknown statistic")
 	}
 }
@@ -52,7 +53,7 @@ func TestRunTrainsAndSaves(t *testing.T) {
 	dir := t.TempDir()
 	data := writeDataset(t, dir)
 	model := filepath.Join(dir, "model.surf")
-	if err := run(data, "x,y", "count", "", 300, "", false, 20, 3, 1, model); err != nil {
+	if err := run(context.Background(), data, "x,y", "count", "", 300, "", false, 20, 3, 1, model); err != nil {
 		t.Fatal(err)
 	}
 	info, err := os.Stat(model)

@@ -1,0 +1,46 @@
+// Package surf mines "interesting" data regions: axis-aligned
+// hyper-rectangles whose statistic (count, mean, ratio, …) exceeds or
+// falls below an analyst-supplied threshold.
+//
+// It implements SuRF (SUrrogate Region Finder) from Savva,
+// Anagnostopoulos & Triantafillou, "SuRF: Identification of
+// Interesting Data Regions with Surrogate Models", ICDE 2020. Instead
+// of scanning the dataset for every candidate region, SuRF trains a
+// gradient-boosted-tree surrogate on past region evaluations and runs
+// Glowworm Swarm Optimization over the region space, so query time is
+// independent of the data size.
+//
+// # Typical use
+//
+//	ds, _ := surf.NewDataset([]string{"x", "y"}, cols)
+//	eng, _ := surf.Open(ds, surf.Config{
+//		FilterColumns: []string{"x", "y"},
+//		Statistic:     surf.Count,
+//	})
+//	wl, _ := eng.GenerateWorkload(5000, 1)     // past evaluations
+//	_ = eng.TrainSurrogate(wl)                 // fit f̂
+//	res, _ := eng.Find(surf.Query{Threshold: 1000, Above: true})
+//	for _, r := range res.Regions { fmt.Println(r.Min, r.Max, r.Estimate) }
+//
+// # The v2 serving API
+//
+// The package is designed to sit inside a server handling concurrent
+// query traffic:
+//
+//   - Every long-running entry point has a context-accepting form
+//     (FindContext, FindTopKContext, TrainSurrogateContext,
+//     GenerateWorkloadContext). Cancellation is plumbed into the
+//     optimizer and honored within one swarm iteration; the
+//     context-free names are thin context.Background() wrappers.
+//   - An Engine is safe for concurrent use. Queries read an atomic
+//     snapshot of the surrogate, so TrainSurrogate or LoadSurrogate
+//     may swap the model while Find calls are in flight.
+//   - Session pins one surrogate snapshot for a sequence of calls
+//     that must see a consistent model.
+//   - The Backend interface plugs custom true-function evaluators
+//     (remote stores, approximate engines) into workload generation,
+//     verification and the f+GlowWorm baseline via WithBackend.
+//   - Failures are classified by exported sentinel errors
+//     (ErrNoSurrogate, ErrDimMismatch, ErrBadConfig, …) that work
+//     with errors.Is.
+package surf

@@ -1,0 +1,341 @@
+package surf
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"surf/internal/core"
+	"surf/internal/dataset"
+	"surf/internal/geom"
+	"surf/internal/ml"
+)
+
+// Dataset is an immutable, in-memory columnar dataset.
+type Dataset struct {
+	inner *dataset.Dataset
+}
+
+// NewDataset builds a dataset from named float columns (ownership of
+// the column slices passes to the dataset).
+func NewDataset(names []string, cols [][]float64) (*Dataset, error) {
+	d, err := dataset.New(names, cols)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{inner: d}, nil
+}
+
+// ReadCSVDataset reads a numeric CSV with a header row.
+func ReadCSVDataset(r io.Reader) (*Dataset, error) {
+	d, err := dataset.ReadCSV(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{inner: d}, nil
+}
+
+// Len returns the number of rows.
+func (d *Dataset) Len() int { return d.inner.Len() }
+
+// Names returns the column names.
+func (d *Dataset) Names() []string { return d.inner.Names() }
+
+// Column returns a copy of the named column (nil if absent).
+func (d *Dataset) Column(name string) []float64 {
+	i := d.inner.ColByName(name)
+	if i < 0 {
+		return nil
+	}
+	return append([]float64(nil), d.inner.Col(i)...)
+}
+
+// WriteCSV writes the dataset as CSV with a header row.
+func (d *Dataset) WriteCSV(w io.Writer) error { return d.inner.WriteCSV(w) }
+
+// Config describes what a region query computes over a dataset.
+type Config struct {
+	// FilterColumns are the columns the hyper-rectangles constrain,
+	// in region-dimension order.
+	FilterColumns []string
+	// Statistic is the aggregate extracted from each region.
+	Statistic Statistic
+	// TargetColumn is the aggregated column (ignored for Count). Per
+	// the paper's Definition 2 it must not also be a filter column.
+	TargetColumn string
+	// UseGridIndex builds a uniform grid index for true-function
+	// evaluations instead of linear scans. Recommended for repeated
+	// evaluation on low-dimensional data. Ignored when a Backend is
+	// plugged in via WithBackend.
+	UseGridIndex bool
+}
+
+// Backend computes the true statistic function f over regions. The
+// built-in backends scan (or grid-index) the engine's in-memory
+// dataset; WithBackend plugs in alternatives — a remote column store,
+// an approximate engine, an instrumented wrapper — without changing
+// the rest of the pipeline. Implementations must be safe for
+// concurrent calls.
+type Backend interface {
+	// EvaluateRegion returns the statistic over the hyper-rectangle
+	// [center−halfSides, center+halfSides] and the number of data rows
+	// inside it. For statistics undefined on empty regions the value
+	// is NaN and the count 0.
+	EvaluateRegion(center, halfSides []float64) (value float64, count int)
+}
+
+// backendEvaluator adapts a caller-supplied Backend to the internal
+// evaluator interface used by workload generation and verification.
+type backendEvaluator struct {
+	b    Backend
+	spec dataset.Spec
+	dims int
+}
+
+func (e backendEvaluator) Evaluate(r geom.Rect) (float64, int) {
+	return e.b.EvaluateRegion(r.Center(), r.HalfSides())
+}
+func (e backendEvaluator) Spec() dataset.Spec { return e.spec }
+func (e backendEvaluator) Dims() int          { return e.dims }
+
+// Engine couples a dataset with a region-query spec, a true-function
+// backend, a (lazy) surrogate model, and the mining pipeline.
+//
+// An Engine is safe for concurrent use: queries operate on an atomic
+// snapshot of the surrogate, so TrainSurrogate, TrainSurrogateContext
+// and LoadSurrogate may swap the model while Find calls are running.
+// A query that starts before a swap completes finishes against the
+// model it started with; use Session to pin one snapshot across
+// several calls.
+type Engine struct {
+	data      *dataset.Dataset
+	spec      dataset.Spec
+	evaluator dataset.Evaluator
+	domain    geom.Rect
+	surrogate atomic.Pointer[core.Surrogate]
+}
+
+// Open validates the config against the dataset and returns an engine.
+// Options customize the engine beyond the Config: WithBackend plugs in
+// a custom true-function evaluator, WithDomain overrides the region
+// domain.
+func Open(ds *Dataset, cfg Config, opts ...Option) (*Engine, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("%w: nil dataset", ErrBadConfig)
+	}
+	if int(cfg.Statistic) < 0 || int(cfg.Statistic) >= len(statKinds) {
+		return nil, fmt.Errorf("%w: unknown statistic %d", ErrBadConfig, int(cfg.Statistic))
+	}
+	if len(cfg.FilterColumns) == 0 {
+		return nil, fmt.Errorf("%w: no filter columns", ErrBadConfig)
+	}
+	var eo engineOptions
+	for _, opt := range opts {
+		opt(&eo)
+	}
+	spec := dataset.Spec{Stat: statKinds[cfg.Statistic]}
+	for _, name := range cfg.FilterColumns {
+		i := ds.inner.ColByName(name)
+		if i < 0 {
+			return nil, fmt.Errorf("%w: filter column %q", ErrUnknownColumn, name)
+		}
+		spec.FilterCols = append(spec.FilterCols, i)
+	}
+	if spec.Stat.NeedsTarget() {
+		i := ds.inner.ColByName(cfg.TargetColumn)
+		if i < 0 {
+			return nil, fmt.Errorf("%w: target column %q", ErrUnknownColumn, cfg.TargetColumn)
+		}
+		spec.TargetCol = i
+	}
+	if err := spec.Validate(ds.inner); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	dims := len(spec.FilterCols)
+
+	var ev dataset.Evaluator
+	var err error
+	switch {
+	case eo.backend != nil:
+		ev = backendEvaluator{b: eo.backend, spec: spec, dims: dims}
+	case cfg.UseGridIndex:
+		ev, err = dataset.NewGridIndex(ds.inner, spec, 0)
+	default:
+		ev, err = dataset.NewLinearScan(ds.inner, spec)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	domain := ds.inner.Domain(spec.FilterCols)
+	if eo.domainSet {
+		if len(eo.domainMin) != dims || len(eo.domainMax) != dims {
+			return nil, fmt.Errorf("%w: WithDomain bounds of length %d/%d for %d filter columns",
+				ErrDimMismatch, len(eo.domainMin), len(eo.domainMax), dims)
+		}
+		for j := 0; j < dims; j++ {
+			// Written to also reject NaN bounds, which compare false
+			// under any ordering.
+			if !(eo.domainMin[j] <= eo.domainMax[j]) {
+				return nil, fmt.Errorf("%w: WithDomain bounds [%g, %g] invalid in dimension %d",
+					ErrBadConfig, eo.domainMin[j], eo.domainMax[j], j)
+			}
+		}
+		domain = geom.Rect{Min: eo.domainMin, Max: eo.domainMax}
+	}
+
+	return &Engine{
+		data:      ds.inner,
+		spec:      spec,
+		evaluator: ev,
+		domain:    domain,
+	}, nil
+}
+
+// Dims returns the region dimensionality d.
+func (e *Engine) Dims() int { return len(e.spec.FilterCols) }
+
+// Domain returns the data-space bounding box of the filter columns as
+// (min, max) slices.
+func (e *Engine) Domain() (min, max []float64) {
+	return append([]float64(nil), e.domain.Min...), append([]float64(nil), e.domain.Max...)
+}
+
+// Evaluate computes the true statistic over the region [center ±
+// halfSides] plus the number of rows inside. This is the expensive
+// back-end call the surrogate replaces.
+func (e *Engine) Evaluate(center, halfSides []float64) (value float64, count int) {
+	return e.evaluator.Evaluate(geom.FromCenter(center, halfSides))
+}
+
+// TrainSurrogate fits the engine's surrogate model f̂ on a workload
+// and atomically swaps it in; queries already running keep the model
+// they started with.
+func (e *Engine) TrainSurrogate(w Workload, opts ...TrainOptions) error {
+	return e.TrainSurrogateContext(context.Background(), w, opts...)
+}
+
+// TrainSurrogateContext is TrainSurrogate with cancellation. With
+// HyperTune set, the context is additionally checked before each grid
+// combination of the hyper-parameter search (the dominant cost); a
+// single boosted-tree fit runs to completion once started. A
+// cancelled call leaves the engine's current surrogate untouched.
+func (e *Engine) TrainSurrogateContext(ctx context.Context, w Workload, opts ...TrainOptions) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var o TrainOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	var s *core.Surrogate
+	var err error
+	if o.HyperTune {
+		folds := o.CVFolds
+		if folds == 0 {
+			folds = 3
+		}
+		s, _, err = core.TrainSurrogateCVContext(ctx, w.log, o.params(), ml.GBTGrid(), folds, o.Seed+1)
+	} else {
+		s, err = core.TrainSurrogate(w.log, o.params())
+	}
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	e.surrogate.Store(s)
+	return nil
+}
+
+// HasSurrogate reports whether a surrogate has been trained or loaded.
+func (e *Engine) HasSurrogate() bool { return e.surrogate.Load() != nil }
+
+// SaveSurrogate persists the trained surrogate.
+func (e *Engine) SaveSurrogate(w io.Writer) error {
+	s := e.surrogate.Load()
+	if s == nil {
+		return ErrNoSurrogate
+	}
+	return s.Save(w)
+}
+
+// LoadSurrogate restores a surrogate saved with SaveSurrogate and
+// atomically swaps it in.
+func (e *Engine) LoadSurrogate(r io.Reader) error {
+	s, err := core.LoadSurrogate(r)
+	if err != nil {
+		return err
+	}
+	if s.Dims() != e.Dims() {
+		return fmt.Errorf("%w: surrogate of dimension %d for engine of dimension %d",
+			ErrDimMismatch, s.Dims(), e.Dims())
+	}
+	e.surrogate.Store(s)
+	return nil
+}
+
+// PredictStatistic returns the surrogate's estimate for a region
+// without touching the data.
+func (e *Engine) PredictStatistic(center, halfSides []float64) (float64, error) {
+	s := e.surrogate.Load()
+	if s == nil {
+		return 0, ErrNoSurrogate
+	}
+	return s.Predict(center, halfSides), nil
+}
+
+// Session pins a consistent view of the engine's surrogate. All calls
+// through one session use the surrogate snapshot taken when the
+// session was created, even if TrainSurrogate or LoadSurrogate swap
+// the engine's model in the meantime — use it when a sequence of
+// queries (or a query plus PredictStatistic calls) must agree on one
+// model. Sessions are cheap and safe for concurrent use; create one
+// per request.
+type Session struct {
+	eng  *Engine
+	surr *core.Surrogate
+}
+
+// Session snapshots the engine's current surrogate (which may be nil
+// when none is trained yet).
+func (e *Engine) Session() *Session {
+	return &Session{eng: e, surr: e.surrogate.Load()}
+}
+
+// HasSurrogate reports whether the session's snapshot holds a model.
+func (s *Session) HasSurrogate() bool { return s.surr != nil }
+
+// PredictStatistic returns the snapshot surrogate's estimate for a
+// region.
+func (s *Session) PredictStatistic(center, halfSides []float64) (float64, error) {
+	if s.surr == nil {
+		return 0, ErrNoSurrogate
+	}
+	return s.surr.Predict(center, halfSides), nil
+}
+
+// Find mines interesting regions using the session's surrogate
+// snapshot.
+func (s *Session) Find(q Query) (*Result, error) {
+	return s.FindContext(context.Background(), q)
+}
+
+// FindContext is Find with cancellation (see Engine.FindContext).
+func (s *Session) FindContext(ctx context.Context, q Query) (*Result, error) {
+	return findContext(ctx, s.eng, s.surr, q)
+}
+
+// FindTopK mines the k most extreme regions using the session's
+// surrogate snapshot.
+func (s *Session) FindTopK(q TopKQuery) (*Result, error) {
+	return s.FindTopKContext(context.Background(), q)
+}
+
+// FindTopKContext is FindTopK with cancellation (see
+// Engine.FindTopKContext).
+func (s *Session) FindTopKContext(ctx context.Context, q TopKQuery) (*Result, error) {
+	return findTopKContext(ctx, s.eng, s.surr, q)
+}

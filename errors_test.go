@@ -1,0 +1,85 @@
+package surf
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestSentinelErrors checks that every failure class is reachable via
+// errors.Is on its exported sentinel rather than string matching.
+func TestSentinelErrors(t *testing.T) {
+	d := crimeGrid(300, 51)
+
+	t.Run("ErrBadConfig", func(t *testing.T) {
+		cases := []struct {
+			name string
+			ds   *Dataset
+			cfg  Config
+		}{
+			{"nil dataset", nil, Config{}},
+			{"no filters", d, Config{Statistic: Count}},
+			{"bad stat", d, Config{FilterColumns: []string{"x"}, Statistic: Statistic(99)}},
+			{"target is filter", d, Config{FilterColumns: []string{"x", "y"}, Statistic: Mean, TargetColumn: "y"}},
+		}
+		for _, c := range cases {
+			if _, err := Open(c.ds, c.cfg); !errors.Is(err, ErrBadConfig) {
+				t.Errorf("%s: got %v, want ErrBadConfig", c.name, err)
+			}
+		}
+	})
+
+	t.Run("ErrUnknownColumn", func(t *testing.T) {
+		if _, err := Open(d, Config{FilterColumns: []string{"zzz"}, Statistic: Count}); !errors.Is(err, ErrUnknownColumn) {
+			t.Errorf("bad filter: got %v, want ErrUnknownColumn", err)
+		}
+		if _, err := Open(d, Config{FilterColumns: []string{"x"}, Statistic: Mean, TargetColumn: "zzz"}); !errors.Is(err, ErrUnknownColumn) {
+			t.Errorf("bad target: got %v, want ErrUnknownColumn", err)
+		}
+	})
+
+	t.Run("ErrNoSurrogate", func(t *testing.T) {
+		eng, err := Open(d, Config{FilterColumns: []string{"x", "y"}, Statistic: Count})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Find(Query{Threshold: 10, Above: true}); !errors.Is(err, ErrNoSurrogate) {
+			t.Errorf("Find: got %v, want ErrNoSurrogate", err)
+		}
+		if _, err := eng.FindTopK(TopKQuery{K: 1, Largest: true}); !errors.Is(err, ErrNoSurrogate) {
+			t.Errorf("FindTopK: got %v, want ErrNoSurrogate", err)
+		}
+		if _, err := eng.PredictStatistic([]float64{0.5, 0.5}, []float64{0.1, 0.1}); !errors.Is(err, ErrNoSurrogate) {
+			t.Errorf("PredictStatistic: got %v, want ErrNoSurrogate", err)
+		}
+		if err := eng.SaveSurrogate(&bytes.Buffer{}); !errors.Is(err, ErrNoSurrogate) {
+			t.Errorf("SaveSurrogate: got %v, want ErrNoSurrogate", err)
+		}
+	})
+
+	t.Run("ErrDimMismatch", func(t *testing.T) {
+		eng2d, _ := Open(d, Config{FilterColumns: []string{"x", "y"}, Statistic: Count})
+		wl, err := eng2d.GenerateWorkload(100, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng2d.TrainSurrogate(wl, TrainOptions{Trees: 5}); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := eng2d.SaveSurrogate(&buf); err != nil {
+			t.Fatal(err)
+		}
+		eng1d, _ := Open(d, Config{FilterColumns: []string{"x"}, Statistic: Count})
+		if err := eng1d.LoadSurrogate(&buf); !errors.Is(err, ErrDimMismatch) {
+			t.Errorf("LoadSurrogate: got %v, want ErrDimMismatch", err)
+		}
+	})
+
+	t.Run("ErrBadQuery", func(t *testing.T) {
+		eng, _ := Open(d, Config{FilterColumns: []string{"x", "y"}, Statistic: Count})
+		if _, err := eng.FindTopK(TopKQuery{K: 0, Largest: true, UseTrueFunction: true}); !errors.Is(err, ErrBadQuery) {
+			t.Errorf("K=0: got %v, want ErrBadQuery", err)
+		}
+	})
+}

@@ -9,9 +9,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
+	"os"
+	"os/signal"
+	"syscall"
 
 	surf "surf"
 )
@@ -34,6 +38,13 @@ var activities = []struct {
 }
 
 func main() {
+	// Ctrl-C cancels the pipeline mid-swarm-iteration; unregistering
+	// on the first signal lets a second Ctrl-C kill the process even
+	// during an uncancellable phase (e.g. a boosted-tree fit).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() { <-ctx.Done(); stop() }()
+
 	// --- Simulate the tracker data.
 	rng := rand.New(rand.NewPCG(21, 21))
 	const n = 25000
@@ -65,7 +76,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	wl, err := eng.GenerateWorkload(4000, 23)
+	wl, err := eng.GenerateWorkloadContext(ctx, 4000, 23)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,13 +90,13 @@ func main() {
 	fmt.Printf("P(ratio > %.1f) over %d random regions = %.4f — a highly unlikely event\n",
 		yR, wl.Len(), float64(exceed)/float64(wl.Len()))
 
-	if err := eng.TrainSurrogate(wl); err != nil {
+	if err := eng.TrainSurrogateContext(ctx, wl); err != nil {
 		log.Fatal(err)
 	}
 
 	// Ratio does not shrink with region size, so mine cluster extents
 	// with mild size pressure.
-	res, err := eng.Find(surf.Query{
+	res, err := eng.FindContext(ctx, surf.Query{
 		Threshold:      yR,
 		Above:          true,
 		C:              1,

@@ -14,14 +14,25 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
+	"os"
+	"os/signal"
+	"syscall"
 
 	surf "surf"
 )
 
 func main() {
+	// Ctrl-C cancels the pipeline mid-swarm-iteration; unregistering
+	// on the first signal lets a second Ctrl-C kill the process even
+	// during an uncancellable phase (e.g. a boosted-tree fit).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() { <-ctx.Done(); stop() }()
+
 	rng := rand.New(rand.NewPCG(31, 31))
 	const n = 20000
 	const dims = 4
@@ -73,15 +84,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	wl, err := eng.GenerateWorkload(6000, 37)
+	wl, err := eng.GenerateWorkloadContext(ctx, 6000, 37)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := eng.TrainSurrogate(wl, surf.TrainOptions{Trees: 200}); err != nil {
+	if err := eng.TrainSurrogateContext(ctx, wl, surf.TrainOptions{Trees: 200}); err != nil {
 		log.Fatal(err)
 	}
 
-	res, err := eng.Find(surf.Query{
+	res, err := eng.FindContext(ctx, surf.Query{
 		Threshold:      0.8,
 		Above:          true,
 		C:              1,

@@ -11,16 +11,27 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 	"math/rand/v2"
+	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	surf "surf"
 )
 
 func main() {
+	// Ctrl-C cancels the pipeline mid-swarm-iteration; unregistering
+	// on the first signal lets a second Ctrl-C kill the process even
+	// during an uncancellable phase (e.g. a boosted-tree fit).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() { <-ctx.Done(); stop() }()
+
 	// --- Simulate a city's incident map: 5 hotspots + background.
 	rng := rand.New(rand.NewPCG(7, 7))
 	hotspots := [][2]float64{{0.2, 0.25}, {0.5, 0.7}, {0.75, 0.35}, {0.3, 0.8}, {0.85, 0.8}}
@@ -51,7 +62,7 @@ func main() {
 	}
 
 	// --- Past evaluations: train the surrogate and derive yR = Q3.
-	wl, err := eng.GenerateWorkload(4000, 11)
+	wl, err := eng.GenerateWorkloadContext(ctx, 4000, 11)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,12 +71,15 @@ func main() {
 	yR := labels[len(labels)*3/4]
 	fmt.Printf("threshold yR = Q3 of %d random region evaluations = %.0f incidents\n", wl.Len(), yR)
 
-	if err := eng.TrainSurrogate(wl); err != nil {
+	if err := eng.TrainSurrogateContext(ctx, wl); err != nil {
 		log.Fatal(err)
 	}
 
-	// --- Mine hotspot regions and verify them against the data.
-	res, err := eng.Find(surf.Query{
+	// --- Mine hotspot regions and verify them against the data. The
+	// session pins the just-trained surrogate snapshot, so the query
+	// is unaffected by any concurrent retraining on the engine.
+	sess := eng.Session()
+	res, err := sess.FindContext(ctx, surf.Query{
 		Threshold:      yR,
 		Above:          true,
 		MinSideFrac:    0.03,

@@ -9,14 +9,25 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
+	"os"
+	"os/signal"
+	"syscall"
 
 	surf "surf"
 )
 
 func main() {
+	// Ctrl-C cancels the pipeline mid-swarm-iteration; unregistering
+	// on the first signal lets a second Ctrl-C kill the process even
+	// during an uncancellable phase (e.g. a boosted-tree fit).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() { <-ctx.Done(); stop() }()
+
 	// 1. A dataset: 9,000 points, one third clustered near (0.7, 0.3).
 	rng := rand.New(rand.NewPCG(1, 2))
 	const n = 9000
@@ -47,18 +58,18 @@ func main() {
 	}
 
 	// 3. Train the surrogate on 2,500 past region evaluations.
-	wl, err := eng.GenerateWorkload(2500, 7)
+	wl, err := eng.GenerateWorkloadContext(ctx, 2500, 7)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := eng.TrainSurrogate(wl); err != nil {
+	if err := eng.TrainSurrogateContext(ctx, wl); err != nil {
 		log.Fatal(err)
 	}
 
 	// 4. Mine regions with more than 400 points. MinSideFrac keeps
 	// the size regularizer from proposing boxes too small to hold
 	// that many points.
-	res, err := eng.Find(surf.Query{
+	res, err := eng.FindContext(ctx, surf.Query{
 		Threshold:   400,
 		Above:       true,
 		MinSideFrac: 0.05,

@@ -1,0 +1,3 @@
+module surf
+
+go 1.24

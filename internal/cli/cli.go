@@ -1,0 +1,38 @@
+// Package cli holds the small runtime helpers shared by the surf
+// commands.
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalContext returns a context cancelled by SIGINT or SIGTERM. The
+// first signal cancels the context (cooperative shutdown); the
+// handler then unregisters itself so a second signal falls through to
+// the default disposition and kills the process even during an
+// uninterruptible phase. The returned stop function releases the
+// signal registration early.
+func SignalContext() (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	return ctx, stop
+}
+
+// Exit reports a command failure and terminates with the conventional
+// status: 130 for a cancelled run, 1 for any other error.
+func Exit(command string, err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "%s: interrupted\n", command)
+		os.Exit(130)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", command, err)
+	os.Exit(1)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -147,6 +148,12 @@ func (f *Finder) Density() *kde.KDE { return f.density }
 // [x, l] solution space, then extract, deduplicate and rank the
 // converged regions.
 func (f *Finder) Find(cfg FinderConfig) (*FindResult, error) {
+	return f.FindContext(context.Background(), cfg)
+}
+
+// FindContext is Find with cancellation: the context is propagated to
+// the optimizer, which checks it once per swarm iteration.
+func (f *Finder) FindContext(ctx context.Context, cfg FinderConfig) (*FindResult, error) {
 	dims := f.domain.Dims()
 	cfg = cfg.withDefaults(dims)
 	obj, err := NewObjective(f.stat, ObjectiveConfig{
@@ -176,7 +183,7 @@ func (f *Finder) Find(cfg FinderConfig) (*FindResult, error) {
 	}
 
 	start := time.Now()
-	res, err := gso.Run(cfg.GSO, space, obj, opts)
+	res, err := gso.RunContext(ctx, cfg.GSO, space, obj, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -339,6 +346,12 @@ func ClusterRegions(swarm *gso.Result, domain geom.Rect, eps float64) []geom.Rec
 // of proposed regions complied with f(x, l) > yR. It returns the
 // compliant fraction.
 func Verify(regions []Region, trueFn StatFn, cfg ObjectiveConfig) (float64, error) {
+	return VerifyContext(context.Background(), regions, trueFn, cfg)
+}
+
+// VerifyContext is Verify with cancellation, checked before each
+// region's (potentially O(N)) true-function evaluation.
+func VerifyContext(ctx context.Context, regions []Region, trueFn StatFn, cfg ObjectiveConfig) (float64, error) {
 	if err := cfg.Validate(); err != nil {
 		return 0, err
 	}
@@ -350,6 +363,9 @@ func Verify(regions []Region, trueFn StatFn, cfg ObjectiveConfig) (float64, erro
 	}
 	ok := 0
 	for i := range regions {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		r := &regions[i]
 		y := trueFn(r.Rect.Center(), r.Rect.HalfSides())
 		r.TrueValue = y

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -49,6 +50,12 @@ type TuneResult struct {
 // GridSearchCV mode, Section V-E). A nil grid uses the paper's
 // 144-combination grid.
 func TrainSurrogateCV(log dataset.QueryLog, base gbt.Params, grid ml.Grid, folds int, seed uint64) (*Surrogate, *TuneResult, error) {
+	return TrainSurrogateCVContext(context.Background(), log, base, grid, folds, seed)
+}
+
+// TrainSurrogateCVContext is TrainSurrogateCV with cancellation,
+// checked before each grid combination's cross-validation round.
+func TrainSurrogateCVContext(ctx context.Context, log dataset.QueryLog, base gbt.Params, grid ml.Grid, folds int, seed uint64) (*Surrogate, *TuneResult, error) {
 	if len(log) == 0 {
 		return nil, nil, ErrEmptyLog
 	}
@@ -61,7 +68,7 @@ func TrainSurrogateCV(log dataset.QueryLog, base gbt.Params, grid ml.Grid, folds
 	X, y := log.Features()
 	rng := rand.New(rand.NewPCG(seed, 0xd1342543de82ef95))
 	factory := ml.GBTFactory(base)
-	best, all, err := ml.GridSearchCV(factory, grid, X, y, folds, rng)
+	best, all, err := ml.GridSearchCVContext(ctx, factory, grid, X, y, folds, rng)
 	if err != nil {
 		return nil, nil, err
 	}

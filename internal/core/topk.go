@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sort"
@@ -60,6 +61,13 @@ type TopKResult struct {
 // maximized by GSO; converged particles are grouped into clusters and
 // each cluster's extent is scored by the statistic function.
 func (f *Finder) FindTopK(cfg TopKConfig) (*TopKResult, error) {
+	return f.FindTopKContext(context.Background(), cfg)
+}
+
+// FindTopKContext is FindTopK with cancellation: the context is
+// propagated to the optimizer, which checks it once per swarm
+// iteration.
+func (f *Finder) FindTopKContext(ctx context.Context, cfg TopKConfig) (*TopKResult, error) {
 	if cfg.K < 1 {
 		return nil, errors.New("core: TopK K must be >= 1")
 	}
@@ -96,7 +104,7 @@ func (f *Finder) FindTopK(cfg TopKConfig) (*TopKResult, error) {
 	})
 
 	space := geom.SolutionSpace(f.domain, fc.MinSideFrac, fc.MaxSideFrac)
-	res, err := gso.Run(fc.GSO, space, obj, gso.Options{InvalidWalk: 1})
+	res, err := gso.RunContext(ctx, fc.GSO, space, obj, gso.Options{InvalidWalk: 1})
 	if err != nil {
 		return nil, err
 	}

@@ -32,6 +32,7 @@
 package gso
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -206,6 +207,13 @@ type Options struct {
 
 // Run executes GSO over the given solution-space bounds.
 func Run(p Params, bounds geom.Rect, obj Objective, opts Options) (*Result, error) {
+	return RunContext(context.Background(), p, bounds, obj, opts)
+}
+
+// RunContext is Run with cancellation: the context is checked once per
+// swarm iteration, so a cancelled run returns ctx.Err() within one
+// iteration's worth of objective evaluations.
+func RunContext(ctx context.Context, p Params, bounds geom.Rect, obj Objective, opts Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -286,6 +294,9 @@ func Run(p Params, bounds geom.Rect, obj Objective, opts Options) (*Result, erro
 	}
 
 	for t := 0; t < p.MaxIters; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Phase 1: fitness evaluation (optionally parallel) followed
 		// by the luciferin update. Invalid positions decay only,
 		// emulating the undefined log objective (paper Section V-F).

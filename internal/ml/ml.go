@@ -7,6 +7,7 @@
 package ml
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -154,12 +155,21 @@ type SearchResult struct {
 // validation (the paper's GridSearchCV, Section V-E) and returns the
 // best assignment plus all per-combination results.
 func GridSearchCV(factory Factory, grid Grid, X [][]float64, y []float64, k int, rng *rand.Rand) (best SearchResult, all []SearchResult, err error) {
+	return GridSearchCVContext(context.Background(), factory, grid, X, y, k, rng)
+}
+
+// GridSearchCVContext is GridSearchCV with cancellation, checked
+// before each grid combination's cross-validation round.
+func GridSearchCVContext(ctx context.Context, factory Factory, grid Grid, X [][]float64, y []float64, k int, rng *rand.Rand) (best SearchResult, all []SearchResult, err error) {
 	combos := grid.Combinations()
 	if len(combos) == 0 {
 		return SearchResult{}, nil, errors.New("ml: empty grid")
 	}
 	best.MeanRMSE = math.Inf(1)
 	for _, params := range combos {
+		if err := ctx.Err(); err != nil {
+			return SearchResult{}, nil, err
+		}
 		mean, std, err := CrossValRMSE(factory, params, X, y, k, rng)
 		if err != nil {
 			return SearchResult{}, nil, err

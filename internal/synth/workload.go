@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -42,6 +43,12 @@ func DefaultWorkloadConfig(queries int) WorkloadConfig {
 // GenerateWorkload executes random region queries against the true
 // evaluator and returns the resulting query log Q = {[x, l, y]}.
 func GenerateWorkload(ev dataset.Evaluator, domain geom.Rect, c WorkloadConfig) (dataset.QueryLog, error) {
+	return GenerateWorkloadContext(context.Background(), ev, domain, c)
+}
+
+// GenerateWorkloadContext is GenerateWorkload with cancellation,
+// checked before each (potentially O(N)) true-function evaluation.
+func GenerateWorkloadContext(ctx context.Context, ev dataset.Evaluator, domain geom.Rect, c WorkloadConfig) (dataset.QueryLog, error) {
 	if c.Queries < 1 {
 		return nil, errors.New("synth: Queries must be >= 1")
 	}
@@ -60,6 +67,9 @@ func GenerateWorkload(ev dataset.Evaluator, domain geom.Rect, c WorkloadConfig) 
 		budget = 10 * c.Queries
 	}
 	for attempt := 0; attempt < budget && len(log) < c.Queries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		x := make([]float64, d)
 		l := make([]float64, d)
 		for j := 0; j < d; j++ {

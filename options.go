@@ -1,0 +1,123 @@
+package surf
+
+import (
+	"fmt"
+
+	"surf/internal/gbt"
+	"surf/internal/stats"
+)
+
+// Statistic enumerates the supported region statistics.
+type Statistic int
+
+// Supported statistics. Count is the paper's "density" statistic; Mean
+// over a target column is its "aggregate" statistic.
+const (
+	Count Statistic = iota
+	Sum
+	Mean
+	Min
+	Max
+	Median
+	Variance
+	StdDev
+	Ratio
+)
+
+var statKinds = [...]stats.Kind{
+	Count: stats.Count, Sum: stats.Sum, Mean: stats.Mean, Min: stats.Min,
+	Max: stats.Max, Median: stats.Median, Variance: stats.Variance,
+	StdDev: stats.StdDev, Ratio: stats.Ratio,
+}
+
+// String names the statistic.
+func (s Statistic) String() string {
+	if s >= 0 && int(s) < len(statKinds) {
+		return statKinds[s].String()
+	}
+	return fmt.Sprintf("Statistic(%d)", int(s))
+}
+
+// ParseStatistic converts a name like "count" or "mean" to a
+// Statistic.
+func ParseStatistic(name string) (Statistic, error) {
+	k, err := stats.ParseKind(name)
+	if err != nil {
+		return 0, err
+	}
+	for s, kk := range statKinds {
+		if kk == k {
+			return Statistic(s), nil
+		}
+	}
+	return 0, fmt.Errorf("surf: unmapped statistic %q", name)
+}
+
+// Option customizes an engine at Open time.
+type Option func(*engineOptions)
+
+type engineOptions struct {
+	backend              Backend
+	domainSet            bool
+	domainMin, domainMax []float64
+}
+
+// WithBackend replaces the engine's true-function evaluator with a
+// caller-supplied Backend. Workload generation, region verification
+// and UseTrueFunction queries then go through the backend instead of
+// scanning the engine's dataset; the dataset still provides the
+// column layout and (unless WithDomain is also given) the region
+// domain.
+func WithBackend(b Backend) Option {
+	return func(o *engineOptions) { o.backend = b }
+}
+
+// WithDomain overrides the region-space bounding box derived from the
+// dataset. min and max must have one entry per filter column. Useful
+// when a Backend covers a wider space than the sample loaded into the
+// dataset.
+func WithDomain(min, max []float64) Option {
+	return func(o *engineOptions) {
+		o.domainSet = true
+		o.domainMin = append([]float64(nil), min...)
+		o.domainMax = append([]float64(nil), max...)
+	}
+}
+
+// TrainOptions tune surrogate training.
+type TrainOptions struct {
+	// Trees, LearningRate, MaxDepth, Lambda override the boosted-tree
+	// hyper-parameters (zero keeps the default: 100 trees, 0.1 rate,
+	// depth 6, λ=1).
+	Trees        int
+	LearningRate float64
+	MaxDepth     int
+	Lambda       float64
+	// HyperTune runs the paper's 144-combination grid search with
+	// K-fold CV before the final fit. Slower but more accurate.
+	HyperTune bool
+	// CVFolds is the fold count for HyperTune (default 3).
+	CVFolds int
+	// Seed drives subsampling and CV shuffling.
+	Seed uint64
+}
+
+func (o TrainOptions) params() gbt.Params {
+	p := gbt.DefaultParams()
+	if o.Trees > 0 {
+		p.NumTrees = o.Trees
+	}
+	if o.LearningRate > 0 {
+		p.LearningRate = o.LearningRate
+	}
+	if o.MaxDepth > 0 {
+		p.MaxDepth = o.MaxDepth
+	}
+	if o.Lambda > 0 {
+		p.Lambda = o.Lambda
+	}
+	if o.Seed != 0 {
+		p.Seed = o.Seed
+	}
+	return p
+}

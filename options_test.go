@@ -1,0 +1,203 @@
+package surf
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+// regionsEqual compares mined region lists exactly (bounds and
+// estimates).
+func regionsEqual(a, b []Region) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		for j := range a[i].Min {
+			if a[i].Min[j] != b[i].Min[j] || a[i].Max[j] != b[i].Max[j] {
+				return false
+			}
+		}
+		if a[i].Estimate != b[i].Estimate {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGSODefaultingConsistency is the regression test for the
+// historical quirk where setting only Seed or Workers on a query
+// silently changed the effective swarm-size default. All overrides
+// that equal the defaults must produce bit-identical results to the
+// no-override query.
+func TestGSODefaultingConsistency(t *testing.T) {
+	d := crimeGrid(3000, 41)
+	eng, err := Open(d, Config{FilterColumns: []string{"x", "y"}, Statistic: Count, UseGridIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Query{Threshold: 100, Above: true, UseTrueFunction: true, Iterations: 25, SkipVerify: true}
+
+	ref, err := eng.Find(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		q    Query
+	}{
+		{"explicit default seed", func() Query { q := base; q.Seed = 1; return q }()},
+		{"workers only", func() Query { q := base; q.Workers = 3; return q }()},
+		{"seed and workers", func() Query { q := base; q.Seed = 1; q.Workers = 2; return q }()},
+		{"explicit default glowworms", func() Query { q := base; q.Glowworms = 50 * 2 * eng.Dims(); return q }()},
+	}
+	for _, c := range cases {
+		got, err := eng.Find(c.q)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if !regionsEqual(ref.Regions, got.Regions) {
+			t.Errorf("%s: regions differ from the no-override run", c.name)
+		}
+	}
+
+	// FindTopK shares the same defaulting helper: seed/workers
+	// overrides equal to the defaults change nothing.
+	tkBase := TopKQuery{K: 2, Largest: true, UseTrueFunction: true, Iterations: 25, SkipVerify: true}
+	tkRef, err := eng.FindTopK(tkBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tkSeed := tkBase
+	tkSeed.Seed = 1
+	tkSeed.Workers = 2
+	tkGot, err := eng.FindTopK(tkSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regionsEqual(tkRef.Regions, tkGot.Regions) {
+		t.Error("FindTopK: default-valued overrides changed the result")
+	}
+}
+
+// countingBackend delegates region evaluation to an engine opened over
+// the same dataset, counting calls — the shape of a custom Backend
+// wrapping a remote or instrumented evaluator.
+type countingBackend struct {
+	inner *Engine
+	calls atomic.Int64
+}
+
+func (b *countingBackend) EvaluateRegion(center, halfSides []float64) (float64, int) {
+	b.calls.Add(1)
+	return b.inner.Evaluate(center, halfSides)
+}
+
+func TestWithBackend(t *testing.T) {
+	d := crimeGrid(2000, 42)
+	plain, err := Open(d, Config{FilterColumns: []string{"x", "y"}, Statistic: Count})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend := &countingBackend{inner: plain}
+	eng, err := Open(d, Config{FilterColumns: []string{"x", "y"}, Statistic: Count}, WithBackend(backend))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Direct evaluation routes through the backend.
+	y1, n1 := plain.Evaluate([]float64{0.7, 0.3}, []float64{0.1, 0.1})
+	y2, n2 := eng.Evaluate([]float64{0.7, 0.3}, []float64{0.1, 0.1})
+	if y1 != y2 || n1 != n2 {
+		t.Errorf("backend evaluation (%g, %d) != direct (%g, %d)", y2, n2, y1, n1)
+	}
+	if backend.calls.Load() == 0 {
+		t.Fatal("backend not called by Evaluate")
+	}
+
+	// Workload generation routes through the backend.
+	before := backend.calls.Load()
+	wl, err := eng.GenerateWorkload(50, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Len() != 50 {
+		t.Errorf("workload len = %d", wl.Len())
+	}
+	if backend.calls.Load()-before < 50 {
+		t.Errorf("backend saw %d calls for a 50-query workload", backend.calls.Load()-before)
+	}
+
+	// True-function mining and verification route through the backend.
+	before = backend.calls.Load()
+	res, err := eng.Find(Query{Threshold: 50, Above: true, UseTrueFunction: true, Iterations: 15, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regions) == 0 {
+		t.Error("backend-backed Find found nothing")
+	}
+	if backend.calls.Load() == before {
+		t.Error("backend not called by UseTrueFunction Find")
+	}
+}
+
+func TestWithDomain(t *testing.T) {
+	d := crimeGrid(500, 43)
+	eng, err := Open(d, Config{FilterColumns: []string{"x", "y"}, Statistic: Count},
+		WithDomain([]float64{-1, -1}, []float64{2, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := eng.Domain()
+	if min[0] != -1 || max[1] != 2 {
+		t.Errorf("domain override not applied: [%v, %v]", min, max)
+	}
+	// Wrong length → ErrDimMismatch.
+	_, err = Open(d, Config{FilterColumns: []string{"x", "y"}, Statistic: Count},
+		WithDomain([]float64{0}, []float64{1}))
+	if !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("short domain returned %v, want ErrDimMismatch", err)
+	}
+	// Empty slices are still an override attempt, not a no-op.
+	_, err = Open(d, Config{FilterColumns: []string{"x", "y"}, Statistic: Count},
+		WithDomain([]float64{}, []float64{}))
+	if !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("empty domain returned %v, want ErrDimMismatch", err)
+	}
+	// Inverted bounds → ErrBadConfig.
+	_, err = Open(d, Config{FilterColumns: []string{"x", "y"}, Statistic: Count},
+		WithDomain([]float64{0, 1}, []float64{1, 0}))
+	if !errors.Is(err, ErrBadConfig) {
+		t.Errorf("inverted domain returned %v, want ErrBadConfig", err)
+	}
+	// NaN bounds → ErrBadConfig, not a poisoned domain.
+	_, err = Open(d, Config{FilterColumns: []string{"x", "y"}, Statistic: Count},
+		WithDomain([]float64{0, math.NaN()}, []float64{1, 1}))
+	if !errors.Is(err, ErrBadConfig) {
+		t.Errorf("NaN domain returned %v, want ErrBadConfig", err)
+	}
+}
+
+func TestFindTopKWorkers(t *testing.T) {
+	d := crimeGrid(3000, 44)
+	eng, _ := Open(d, Config{FilterColumns: []string{"x", "y"}, Statistic: Count, UseGridIndex: true})
+	seq, err := eng.FindTopK(TopKQuery{K: 2, Largest: true, UseTrueFunction: true, Iterations: 30, SkipVerify: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := eng.FindTopK(TopKQuery{K: 2, Largest: true, UseTrueFunction: true, Iterations: 30, SkipVerify: true, Seed: 7, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regionsEqual(seq.Regions, par.Regions) {
+		t.Error("parallel FindTopK differs from sequential")
+	}
+	for _, r := range seq.Regions {
+		if math.IsNaN(r.Estimate) {
+			t.Error("NaN estimate in top-k result")
+		}
+	}
+}

@@ -1,0 +1,345 @@
+package surf
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+
+	"surf/internal/core"
+	"surf/internal/dataset"
+	"surf/internal/gso"
+	"surf/internal/synth"
+)
+
+// Workload is a log of past region evaluations used as surrogate
+// training data.
+type Workload struct {
+	log dataset.QueryLog
+}
+
+// Len returns the number of logged queries.
+func (w Workload) Len() int { return len(w.log) }
+
+// Labels returns the logged statistic values, one per query — useful
+// for picking data-driven thresholds (e.g. the paper's yR = Q3 of
+// random region evaluations).
+func (w Workload) Labels() []float64 {
+	out := make([]float64, len(w.log))
+	for i, q := range w.log {
+		out[i] = q.Y
+	}
+	return out
+}
+
+// WriteCSV serializes the workload (x1..xd, l1..ld, y columns).
+func (w Workload) WriteCSV(out io.Writer) error { return w.log.WriteCSV(out) }
+
+// ReadWorkloadCSV reads a workload written by WriteCSV.
+func ReadWorkloadCSV(r io.Reader) (Workload, error) {
+	log, err := dataset.ReadQueryLogCSV(r)
+	if err != nil {
+		return Workload{}, err
+	}
+	return Workload{log: log}, nil
+}
+
+// GenerateWorkload executes n random region queries against the true
+// evaluator (centers uniform over the domain, half-sides 1–15% of the
+// extent, the paper's training workload) and returns the log.
+func (e *Engine) GenerateWorkload(n int, seed uint64) (Workload, error) {
+	return e.GenerateWorkloadContext(context.Background(), n, seed)
+}
+
+// GenerateWorkloadContext is GenerateWorkload with cancellation,
+// checked before each true-function evaluation.
+func (e *Engine) GenerateWorkloadContext(ctx context.Context, n int, seed uint64) (Workload, error) {
+	cfg := synth.DefaultWorkloadConfig(n)
+	cfg.Seed = seed
+	log, err := synth.GenerateWorkloadContext(ctx, e.evaluator, e.domain, cfg)
+	if err != nil {
+		return Workload{}, err
+	}
+	return Workload{log: log}, nil
+}
+
+// Query is one mining request.
+type Query struct {
+	// Threshold is the statistic cut-off yR.
+	Threshold float64
+	// Above selects regions with f > Threshold; false selects f <
+	// Threshold.
+	Above bool
+	// C is the region-size regularizer (default 4; larger prefers
+	// smaller regions).
+	C float64
+	// MaxRegions caps the number of returned regions (default 16).
+	MaxRegions int
+	// UseTrueFunction bypasses the surrogate and optimizes against
+	// the real dataset evaluator (the paper's f+GlowWorm baseline) —
+	// accurate but O(N) per evaluation.
+	UseTrueFunction bool
+	// UseKDE enables the data-density selection prior (Eq. 8).
+	UseKDE bool
+	// KDESample caps the KDE sample size (default 1000).
+	KDESample int
+	// Glowworms and Iterations override the swarm size and budget
+	// (defaults: L = 50·2d worms, T = 100).
+	Glowworms  int
+	Iterations int
+	// MinSideFrac and MaxSideFrac bound region half-sides as
+	// fractions of the domain extent (defaults 0.01 and 0.15 — the
+	// surrogate's training range). Raising MinSideFrac keeps the
+	// size-regularized objective from shrinking regions below the
+	// scale the surrogate was trained on.
+	MinSideFrac float64
+	MaxSideFrac float64
+	// Workers parallelizes the swarm's fitness evaluations across
+	// this many goroutines (0 or 1 = sequential). Results are
+	// bit-identical to the sequential run.
+	Workers int
+	// SkipVerify leaves regions unverified against the true f
+	// (verification costs one data scan per region).
+	SkipVerify bool
+	// ClusterExtents reports each swarm cluster's bounding region
+	// instead of individual converged particles. With a size
+	// regularizer C > 0 particles shrink toward the smallest
+	// acceptable boxes while collectively carpeting the interesting
+	// region; cluster extents recover the region's full footprint.
+	// Recommended for statistics that do not shrink with region size
+	// (Mean, Ratio, Min, Max).
+	ClusterExtents bool
+	// Seed makes the run deterministic.
+	Seed uint64
+}
+
+// TopKQuery requests the k highest- (or lowest-) statistic regions —
+// the complementary formulation to threshold queries discussed in the
+// paper's Section VI; use it when k is known and the threshold is not.
+type TopKQuery struct {
+	// K is the number of regions requested.
+	K int
+	// Largest selects the highest-statistic regions; false the
+	// lowest.
+	Largest bool
+	// C is the region-size regularizer (default 4).
+	C float64
+	// UseTrueFunction bypasses the surrogate (O(N) per evaluation).
+	UseTrueFunction bool
+	// Glowworms, Iterations, MinSideFrac, MaxSideFrac, Workers and
+	// Seed behave as in Query.
+	Glowworms   int
+	Iterations  int
+	MinSideFrac float64
+	MaxSideFrac float64
+	Workers     int
+	// SkipVerify leaves regions unverified against the true
+	// statistic.
+	SkipVerify bool
+	Seed       uint64
+}
+
+// gsoParams is the single source of optimizer defaulting for Find and
+// FindTopK. The effective parameters are identical whether or not any
+// override is set: the swarm size is always the paper's L = 50·2d
+// (over the 2d-dimensional [x, l] solution space) unless explicitly
+// overridden. Historically Find and FindTopK built these parameters
+// separately and setting only Seed or Workers could change unrelated
+// defaults.
+func gsoParams(dims, glowworms, iterations, workers int, seed uint64) gso.Params {
+	g := gso.DefaultParams()
+	g.Glowworms = 50 * 2 * dims
+	if glowworms > 0 {
+		g.Glowworms = glowworms
+	}
+	if iterations > 0 {
+		g.MaxIters = iterations
+	}
+	if seed > 0 {
+		g.Seed = seed
+	}
+	if workers > 1 {
+		g.Workers = workers
+	}
+	return g
+}
+
+// statFnFor picks the statistic function a query optimizes: the true
+// evaluator when requested, else the given surrogate snapshot.
+func statFnFor(e *Engine, surr *core.Surrogate, useTrue bool) (core.StatFn, error) {
+	switch {
+	case useTrue:
+		return core.StatFnFromEvaluator(e.evaluator), nil
+	case surr != nil:
+		return surr.StatFn(), nil
+	default:
+		return nil, ErrNoSurrogate
+	}
+}
+
+// Find mines interesting regions for the query. Unless
+// q.UseTrueFunction is set, a trained surrogate is required.
+func (e *Engine) Find(q Query) (*Result, error) {
+	return e.FindContext(context.Background(), q)
+}
+
+// FindContext is Find with cancellation: the context is checked once
+// per swarm iteration (and between the mining and verification
+// stages), so a cancelled query returns ctx.Err() within one
+// iteration's worth of objective evaluations.
+func (e *Engine) FindContext(ctx context.Context, q Query) (*Result, error) {
+	return findContext(ctx, e, e.surrogate.Load(), q)
+}
+
+// FindTopK mines the k most extreme regions by statistic value.
+// Returned regions carry the model's Estimate; unless SkipVerify is
+// set, TrueValue is filled from the dataset (Satisfies is not
+// meaningful for top-k queries and stays false).
+func (e *Engine) FindTopK(q TopKQuery) (*Result, error) {
+	return e.FindTopKContext(context.Background(), q)
+}
+
+// FindTopKContext is FindTopK with cancellation, checked once per
+// swarm iteration and between mining and verification.
+func (e *Engine) FindTopKContext(ctx context.Context, q TopKQuery) (*Result, error) {
+	return findTopKContext(ctx, e, e.surrogate.Load(), q)
+}
+
+func findContext(ctx context.Context, e *Engine, surr *core.Surrogate, q Query) (*Result, error) {
+	statFn, err := statFnFor(e, surr, q.UseTrueFunction)
+	if err != nil {
+		return nil, err
+	}
+	finder, err := core.NewFinder(statFn, e.domain)
+	if err != nil {
+		return nil, err
+	}
+	dir := core.Below
+	if q.Above {
+		dir = core.Above
+	}
+	cfg := core.FinderConfig{
+		Threshold:   q.Threshold,
+		Dir:         dir,
+		C:           q.C,
+		MaxRegions:  q.MaxRegions,
+		UseKDE:      q.UseKDE,
+		MinSideFrac: q.MinSideFrac,
+		MaxSideFrac: q.MaxSideFrac,
+		GSO:         gsoParams(e.Dims(), q.Glowworms, q.Iterations, q.Workers, q.Seed),
+	}
+	if q.UseKDE {
+		sample := q.KDESample
+		if sample == 0 {
+			sample = 1000
+		}
+		points := make([][]float64, e.data.Len())
+		for i := range points {
+			row := make([]float64, e.Dims())
+			for j, c := range e.spec.FilterCols {
+				row[j] = e.data.Col(c)[i]
+			}
+			points[i] = row
+		}
+		if err := finder.AttachDensity(points, sample, q.Seed+17); err != nil {
+			return nil, err
+		}
+	}
+	res, err := finder.FindContext(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if q.ClusterExtents {
+		maxRegions := cfg.MaxRegions
+		if maxRegions == 0 {
+			maxRegions = 16
+		}
+		clusters := core.ClusterRegions(res.Swarm, e.domain, 0.08)
+		if len(clusters) > maxRegions {
+			clusters = clusters[:maxRegions]
+		}
+		regions := make([]core.Region, 0, len(clusters))
+		for _, rect := range clusters {
+			regions = append(regions, core.Region{
+				Rect:     rect,
+				Estimate: statFn(rect.Center(), rect.HalfSides()),
+				Worms:    1,
+			})
+		}
+		res.Regions = regions
+	}
+	compliance := math.NaN()
+	if !q.SkipVerify {
+		objCfg := core.ObjectiveConfig{YR: cfg.Threshold, Dir: dir, C: cfg.C}
+		if objCfg.C == 0 {
+			objCfg.C = 4
+		}
+		compliance, err = core.VerifyContext(ctx, res.Regions, core.StatFnFromEvaluator(e.evaluator), objCfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := &Result{
+		ValidParticleFraction: res.ValidFrac,
+		ComplianceRate:        compliance,
+		ElapsedSeconds:        res.Elapsed.Seconds(),
+	}
+	for _, r := range res.Regions {
+		out.Regions = append(out.Regions, Region{
+			Min:       append([]float64(nil), r.Rect.Min...),
+			Max:       append([]float64(nil), r.Rect.Max...),
+			Estimate:  r.Estimate,
+			Score:     r.Score,
+			Worms:     r.Worms,
+			TrueValue: r.TrueValue,
+			Verified:  r.Verified,
+			Satisfies: r.SatisfiesTrue,
+		})
+	}
+	return out, nil
+}
+
+func findTopKContext(ctx context.Context, e *Engine, surr *core.Surrogate, q TopKQuery) (*Result, error) {
+	if q.K < 1 {
+		return nil, fmt.Errorf("%w: K must be >= 1", ErrBadQuery)
+	}
+	statFn, err := statFnFor(e, surr, q.UseTrueFunction)
+	if err != nil {
+		return nil, err
+	}
+	finder, err := core.NewFinder(statFn, e.domain)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.TopKConfig{
+		K:           q.K,
+		Largest:     q.Largest,
+		C:           q.C,
+		MinSideFrac: q.MinSideFrac,
+		MaxSideFrac: q.MaxSideFrac,
+		GSO:         gsoParams(e.Dims(), q.Glowworms, q.Iterations, q.Workers, q.Seed),
+	}
+	res, err := finder.FindTopKContext(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{ComplianceRate: math.NaN()}
+	trueFn := core.StatFnFromEvaluator(e.evaluator)
+	for _, r := range res.Regions {
+		region := Region{
+			Min:      append([]float64(nil), r.Rect.Min...),
+			Max:      append([]float64(nil), r.Rect.Max...),
+			Estimate: r.Estimate,
+			Worms:    r.Worms,
+		}
+		if !q.SkipVerify {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			region.TrueValue = trueFn(r.Rect.Center(), r.Rect.HalfSides())
+			region.Verified = true
+		}
+		out.Regions = append(out.Regions, region)
+	}
+	return out, nil
+}

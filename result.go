@@ -1,0 +1,33 @@
+package surf
+
+// Region is one mined region.
+type Region struct {
+	// Min and Max bound the hyper-rectangle per filter dimension.
+	Min, Max []float64
+	// Estimate is the statistic value the optimizer's model assigned.
+	Estimate float64
+	// Score is the objective value (higher = better under the size
+	// regularizer).
+	Score float64
+	// Worms is how many swarm particles converged to this region.
+	Worms int
+	// TrueValue and Satisfies are set when the region was verified
+	// against the dataset.
+	TrueValue float64
+	Verified  bool
+	Satisfies bool
+}
+
+// Result is a mining outcome.
+type Result struct {
+	// Regions are the mined regions, best objective first.
+	Regions []Region
+	// ValidParticleFraction is the share of swarm particles ending on
+	// constraint-satisfying positions.
+	ValidParticleFraction float64
+	// ComplianceRate is the fraction of regions that verified against
+	// the true statistic (NaN when verification was skipped).
+	ComplianceRate float64
+	// ElapsedSeconds is the mining wall-clock time.
+	ElapsedSeconds float64
+}

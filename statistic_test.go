@@ -1,0 +1,76 @@
+package surf
+
+import "testing"
+
+// TestStatisticStringTable pins the wire names of every statistic and
+// the fallback formatting of unknown values.
+func TestStatisticStringTable(t *testing.T) {
+	cases := []struct {
+		stat Statistic
+		want string
+	}{
+		{Count, "count"},
+		{Sum, "sum"},
+		{Mean, "mean"},
+		{Min, "min"},
+		{Max, "max"},
+		{Median, "median"},
+		{Variance, "variance"},
+		{StdDev, "stddev"},
+		{Ratio, "ratio"},
+		{Statistic(99), "Statistic(99)"},
+		{Statistic(-1), "Statistic(-1)"},
+	}
+	for _, c := range cases {
+		if got := c.stat.String(); got != c.want {
+			t.Errorf("Statistic(%d).String() = %q, want %q", int(c.stat), got, c.want)
+		}
+	}
+}
+
+// TestParseStatisticTable covers round trips plus the error paths.
+func TestParseStatisticTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		want    Statistic
+		wantErr bool
+	}{
+		{"count", Count, false},
+		{"sum", Sum, false},
+		{"mean", Mean, false},
+		{"min", Min, false},
+		{"max", Max, false},
+		{"median", Median, false},
+		{"variance", Variance, false},
+		{"stddev", StdDev, false},
+		{"ratio", Ratio, false},
+		{"nope", 0, true},
+		{"", 0, true},
+		{"COUNT", 0, true}, // names are case-sensitive
+		{"Statistic(99)", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseStatistic(c.name)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseStatistic(%q) = %v, want error", c.name, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseStatistic(%q): %v", c.name, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseStatistic(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+	// Full round trip: every defined statistic survives String →
+	// ParseStatistic.
+	for s := Count; s <= Ratio; s++ {
+		back, err := ParseStatistic(s.String())
+		if err != nil || back != s {
+			t.Errorf("round trip %v -> %q -> (%v, %v)", s, s.String(), back, err)
+		}
+	}
+}
