@@ -8,6 +8,12 @@
 //	surf-bench -exp all -scale small -out results
 //	surf-bench -exp tab1 -scale full
 //	surf-bench -list
+//	surf-bench -json -out results -min-speedup 1.5
+//
+// The -json mode skips the paper experiments and instead benchmarks
+// the surrogate inference hot path (row-at-a-time vs compiled batch
+// prediction), writing the trajectory to <out>/BENCH_inference.json;
+// -min-speedup turns the batch-64 speedup into a hard gate for CI.
 package main
 
 import (
@@ -24,15 +30,23 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (fig1..fig12, tab1, ablation) or 'all'")
-		scale = flag.String("scale", "small", "experiment scale: small (seconds) or full (minutes+)")
-		out   = flag.String("out", "results", "directory for CSV outputs ('' disables)")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exp        = flag.String("exp", "all", "experiment id (fig1..fig12, tab1, ablation) or 'all'")
+		scale      = flag.String("scale", "small", "experiment scale: small (seconds) or full (minutes+)")
+		out        = flag.String("out", "results", "directory for CSV outputs ('' disables)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		jsonBench  = flag.Bool("json", false, "run the inference benchmark and write BENCH_inference.json instead of experiments")
+		minSpeedup = flag.Float64("min-speedup", 0, "with -json: fail unless the batch-64 speedup reaches this factor (0 disables)")
 	)
 	flag.Parse()
 	if *list {
 		for _, r := range experiments.All() {
 			fmt.Printf("%-9s %s\n", r.ID, r.Description)
+		}
+		return
+	}
+	if *jsonBench {
+		if err := runInferenceBench(*out, *minSpeedup); err != nil {
+			cli.Exit("surf-bench", err)
 		}
 		return
 	}

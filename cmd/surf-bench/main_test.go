@@ -2,9 +2,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestRunValidation(t *testing.T) {
@@ -35,5 +37,53 @@ func TestRunSingleExperiment(t *testing.T) {
 func TestRunCommaSeparatedList(t *testing.T) {
 	if err := runContext(context.Background(), "fig2,fig7", "small", ""); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// shrinkBench makes the inference benchmark cheap for tests.
+func shrinkBench(t *testing.T) {
+	t.Helper()
+	trees, depth, window := benchTrees, benchDepth, benchWindow
+	sizes := inferenceBatchSizes
+	benchTrees, benchDepth, benchWindow = 20, 4, time.Millisecond
+	inferenceBatchSizes = []int{1, 64}
+	t.Cleanup(func() {
+		benchTrees, benchDepth, benchWindow = trees, depth, window
+		inferenceBatchSizes = sizes
+	})
+}
+
+func TestInferenceBenchWritesJSON(t *testing.T) {
+	shrinkBench(t)
+	dir := t.TempDir()
+	if err := runInferenceBench(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_inference.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep inferenceReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "inference" || rep.Trees != 20 || len(rep.Trajectory) != 2 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	for _, p := range rep.Trajectory {
+		if p.NsPerRowWalk <= 0 || p.NsPerRowBatch <= 0 || p.Speedup <= 0 {
+			t.Fatalf("non-positive measurement: %+v", p)
+		}
+	}
+	if rep.SpeedupAt64 != rep.Trajectory[1].Speedup {
+		t.Errorf("speedup_at_64 %v != trajectory batch-64 %v", rep.SpeedupAt64, rep.Trajectory[1].Speedup)
+	}
+}
+
+func TestInferenceBenchSpeedupGate(t *testing.T) {
+	shrinkBench(t)
+	// An impossible bar must fail, and must do so via error (not exit).
+	if err := runInferenceBench("", 1e9); err == nil {
+		t.Error("expected gate failure for absurd -min-speedup")
 	}
 }

@@ -107,7 +107,10 @@ func (e backendEvaluator) Dims() int          { return e.dims }
 // and LoadSurrogate may swap the model while Find calls are running.
 // A query that starts before a swap completes finishes against the
 // model it started with; use Session to pin one snapshot across
-// several calls.
+// several calls. Each snapshot carries a compiled flat-array form of
+// its ensemble, rebuilt on every train/load and swapped atomically
+// with it, which Find, FindTopK and PredictStatisticBatch use to
+// evaluate whole probe batches per model pass.
 type Engine struct {
 	data      *dataset.Dataset
 	spec      dataset.Spec
@@ -287,6 +290,38 @@ func (e *Engine) PredictStatistic(center, halfSides []float64) (float64, error) 
 	return s.Predict(center, halfSides), nil
 }
 
+// PredictStatisticBatch writes the surrogate's estimate for each
+// region row into out. Each row is the flat [center..., halfSides...]
+// encoding of one region (length 2·Dims; see EncodeRegion conventions
+// in Find results), and out must have exactly len(rows) entries. The
+// call performs no allocation beyond validation, making it the
+// preferred form for high-throughput probing; every row is evaluated
+// against one compiled-model snapshot even if a retrain swaps the
+// surrogate mid-call.
+func (e *Engine) PredictStatisticBatch(rows [][]float64, out []float64) error {
+	s := e.surrogate.Load()
+	if s == nil {
+		return ErrNoSurrogate
+	}
+	return predictBatch(s, e.Dims(), rows, out)
+}
+
+// predictBatch validates a batch-prediction request against one
+// surrogate snapshot and runs it.
+func predictBatch(s *core.Surrogate, dims int, rows [][]float64, out []float64) error {
+	if len(out) != len(rows) {
+		return fmt.Errorf("%w: output of length %d for %d rows", ErrBadQuery, len(out), len(rows))
+	}
+	for i, r := range rows {
+		if len(r) != 2*dims {
+			return fmt.Errorf("%w: row %d of length %d for engine of dimension %d (want 2·d)",
+				ErrDimMismatch, i, len(r), dims)
+		}
+	}
+	s.PredictBatch(rows, out)
+	return nil
+}
+
 // Session pins a consistent view of the engine's surrogate. All calls
 // through one session use the surrogate snapshot taken when the
 // session was created, even if TrainSurrogate or LoadSurrogate swap
@@ -315,6 +350,15 @@ func (s *Session) PredictStatistic(center, halfSides []float64) (float64, error)
 		return 0, ErrNoSurrogate
 	}
 	return s.surr.Predict(center, halfSides), nil
+}
+
+// PredictStatisticBatch is Engine.PredictStatisticBatch against the
+// session's pinned surrogate snapshot.
+func (s *Session) PredictStatisticBatch(rows [][]float64, out []float64) error {
+	if s.surr == nil {
+		return ErrNoSurrogate
+	}
+	return predictBatch(s.surr, s.eng.Dims(), rows, out)
 }
 
 // Find mines interesting regions using the session's surrogate

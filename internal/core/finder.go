@@ -110,6 +110,7 @@ func (c FinderConfig) withDefaults(dims int) FinderConfig {
 // (the paper's f+GlowWorm baseline).
 type Finder struct {
 	stat    StatFn
+	batch   BatchPredictor
 	domain  geom.Rect
 	density *kde.KDE
 }
@@ -125,6 +126,27 @@ func NewFinder(stat StatFn, domain geom.Rect) (*Finder, error) {
 	}
 	return &Finder{stat: stat, domain: domain}, nil
 }
+
+// NewSurrogateFinder builds a finder whose statistic function is the
+// surrogate, with its compiled batch predictor attached so the swarm
+// evaluates whole particle shards per model pass.
+func NewSurrogateFinder(s *Surrogate, domain geom.Rect) (*Finder, error) {
+	if s == nil {
+		return nil, errors.New("core: nil surrogate")
+	}
+	f, err := NewFinder(s.StatFn(), domain)
+	if err != nil {
+		return nil, err
+	}
+	f.AttachBatch(s)
+	return f, nil
+}
+
+// AttachBatch enables batched swarm evaluation through p, which must
+// predict the same statistic as the finder's StatFn bit-for-bit (mined
+// regions and scores are identical with or without it — only the
+// evaluation cost changes). A nil predictor restores the scalar path.
+func (f *Finder) AttachBatch(p BatchPredictor) { f.batch = p }
 
 // AttachDensity fits the Eq. 8 KDE prior over a sample of data points
 // (rows in domain space). maxSample caps the KDE's retained points.
@@ -156,11 +178,14 @@ func (f *Finder) Find(cfg FinderConfig) (*FindResult, error) {
 func (f *Finder) FindContext(ctx context.Context, cfg FinderConfig) (*FindResult, error) {
 	dims := f.domain.Dims()
 	cfg = cfg.withDefaults(dims)
-	obj, err := NewObjective(f.stat, ObjectiveConfig{
-		YR: cfg.Threshold, Dir: cfg.Dir, C: cfg.C, UseRatio: cfg.UseRatio,
-	})
+	ocfg := ObjectiveConfig{YR: cfg.Threshold, Dir: cfg.Dir, C: cfg.C, UseRatio: cfg.UseRatio}
+	obj, err := NewObjective(f.stat, ocfg)
 	if err != nil {
 		return nil, err
+	}
+	runObj := obj
+	if f.batch != nil {
+		runObj = newBatchObjective(obj, f.batch, ocfg.scoreRegion)
 	}
 	if cfg.MinSideFrac <= 0 || cfg.MaxSideFrac < cfg.MinSideFrac {
 		return nil, fmt.Errorf("core: side fractions [%g, %g] invalid", cfg.MinSideFrac, cfg.MaxSideFrac)
@@ -183,7 +208,7 @@ func (f *Finder) FindContext(ctx context.Context, cfg FinderConfig) (*FindResult
 	}
 
 	start := time.Now()
-	res, err := gso.RunContext(ctx, cfg.GSO, space, obj, opts)
+	res, err := gso.RunContext(ctx, cfg.GSO, space, runObj, opts)
 	if err != nil {
 		return nil, err
 	}

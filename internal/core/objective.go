@@ -83,9 +83,9 @@ func (c ObjectiveConfig) Satisfies(y float64) bool {
 	return !math.IsNaN(y) && c.diff(y) > 0
 }
 
-// NewObjective wraps a statistic predictor into the region-space
-// fitness the optimizers maximize. Positions are [x, l] vectors of
-// even dimension.
+// scoreRegion maps a region's half-sides and predicted statistic to
+// the objective value — the statistic-independent half of the fitness,
+// shared by the scalar and batched evaluation paths.
 //
 // Log form (Eq. 4):  J = log(diff) − c·Σ log(l_i), undefined (ok =
 // false) when diff ≤ 0 or any l_i ≤ 0 — the implicit constraint
@@ -93,6 +93,37 @@ func (c ObjectiveConfig) Satisfies(y float64) bool {
 //
 // Ratio form (Eq. 2): J = diff / (Π l_i)^c, defined whenever all
 // l_i > 0 even for constraint-violating regions.
+func (c ObjectiveConfig) scoreRegion(l []float64, y float64) (float64, bool) {
+	if math.IsNaN(y) {
+		return 0, false
+	}
+	d := c.diff(y)
+	if c.UseRatio {
+		volC := 1.0
+		for _, li := range l {
+			if li <= 0 {
+				return 0, false
+			}
+			volC *= li
+		}
+		return d / math.Pow(volC, c.C), true
+	}
+	if d <= 0 {
+		return 0, false
+	}
+	var sizePenalty float64
+	for _, li := range l {
+		if li <= 0 {
+			return 0, false
+		}
+		sizePenalty += math.Log(li)
+	}
+	return math.Log(d) - c.C*sizePenalty, true
+}
+
+// NewObjective wraps a statistic predictor into the region-space
+// fitness the optimizers maximize (see scoreRegion for the two
+// objective forms). Positions are [x, l] vectors of even dimension.
 func NewObjective(f StatFn, cfg ObjectiveConfig) (gso.Objective, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -102,33 +133,67 @@ func NewObjective(f StatFn, cfg ObjectiveConfig) (gso.Objective, error) {
 	}
 	return gso.ObjectiveFunc(func(vec []float64) (float64, bool) {
 		x, l := geom.DecodeRegion(vec)
-		y := f(x, l)
-		if math.IsNaN(y) {
-			return 0, false
-		}
-		d := cfg.diff(y)
-		if cfg.UseRatio {
-			volC := 1.0
-			for _, li := range l {
-				if li <= 0 {
-					return 0, false
-				}
-				volC *= li
-			}
-			return d / math.Pow(volC, cfg.C), true
-		}
-		if d <= 0 {
-			return 0, false
-		}
-		var sizePenalty float64
-		for _, li := range l {
-			if li <= 0 {
-				return 0, false
-			}
-			sizePenalty += math.Log(li)
-		}
-		return math.Log(d) - cfg.C*sizePenalty, true
+		return cfg.scoreRegion(l, f(x, l))
 	}), nil
+}
+
+// BatchPredictor predicts the statistic for many regions at once. Each
+// row is the flat [x, l] solution-space encoding of one region, so the
+// optimizer's particle positions feed the predictor with zero copying;
+// out receives one estimate per row. Surrogate implements it via its
+// compiled ensemble. Implementations must be safe for concurrent calls
+// and must match the scalar statistic function bit-for-bit.
+type BatchPredictor interface {
+	PredictBatch(rows [][]float64, out []float64)
+}
+
+// regionScore is the statistic-to-fitness half of an objective,
+// applied per row after a batch prediction.
+type regionScore func(l []float64, y float64) (float64, bool)
+
+// batchObjective pairs a scalar objective with a batch predictor so
+// the optimizer evaluates a whole particle shard with one model pass.
+// One-off Fitness calls (e.g. the finder's post-run re-evaluation)
+// fall back to the scalar path, which evaluates identically.
+type batchObjective struct {
+	single gso.Objective
+	pred   BatchPredictor
+	score  regionScore
+}
+
+func newBatchObjective(single gso.Objective, pred BatchPredictor, score regionScore) gso.Objective {
+	return &batchObjective{single: single, pred: pred, score: score}
+}
+
+// Fitness evaluates one position via the scalar path.
+func (o *batchObjective) Fitness(pos []float64) (float64, bool) { return o.single.Fitness(pos) }
+
+// NewBatchEvaluator returns an evaluator with its own prediction
+// scratch, satisfying gso.BatchObjective.
+func (o *batchObjective) NewBatchEvaluator() gso.BatchEvaluator {
+	return &batchRegionEvaluator{obj: o}
+}
+
+// batchRegionEvaluator is the per-worker shard evaluator: it holds the
+// reused prediction buffer, so steady-state swarm iterations allocate
+// nothing.
+type batchRegionEvaluator struct {
+	obj *batchObjective
+	y   []float64
+}
+
+// EvaluateBatch predicts the whole shard in one call, then applies the
+// scalar score to each row.
+func (e *batchRegionEvaluator) EvaluateBatch(pos [][]float64, fitness []float64, valid []bool) {
+	if cap(e.y) < len(pos) {
+		e.y = make([]float64, len(pos))
+	}
+	y := e.y[:len(pos)]
+	e.obj.pred.PredictBatch(pos, y)
+	for i, p := range pos {
+		_, l := geom.DecodeRegion(p)
+		fitness[i], valid[i] = e.obj.score(l, y[i])
+	}
 }
 
 // EvaluatorStatFn adapts a region evaluator (the true f over a

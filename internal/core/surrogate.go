@@ -15,9 +15,23 @@ import (
 // Surrogate is the trained model f̂ approximating the back-end
 // statistic function f from past region evaluations (paper Section
 // IV). It consumes the (2d)-dimensional [x, l] encoding.
+//
+// Every surrogate carries a compiled flat-array snapshot of its
+// ensemble (built once at train/load time) that serves all
+// predictions; PredictBatch evaluates whole probe batches against it
+// without per-probe allocation. A Surrogate is immutable and safe for
+// concurrent use.
 type Surrogate struct {
-	model *gbt.Model
-	dims  int
+	model    *gbt.Model
+	compiled *gbt.CompiledModel
+	dims     int
+}
+
+// newSurrogate wraps a trained ensemble, compiling the inference
+// snapshot. All construction paths (train, CV train, load) go through
+// here so the compiled form can never be stale.
+func newSurrogate(model *gbt.Model, dims int) *Surrogate {
+	return &Surrogate{model: model, compiled: model.Compile(), dims: dims}
 }
 
 // ErrEmptyLog reports training on an empty query log.
@@ -34,7 +48,7 @@ func TrainSurrogate(log dataset.QueryLog, params gbt.Params) (*Surrogate, error)
 	if err != nil {
 		return nil, err
 	}
-	return &Surrogate{model: model, dims: len(log[0].X)}, nil
+	return newSurrogate(model, len(log[0].X)), nil
 }
 
 // TuneResult reports the hyper-parameter search outcome.
@@ -80,7 +94,7 @@ func TrainSurrogateCVContext(ctx context.Context, log dataset.QueryLog, base gbt
 		return nil, nil, err
 	}
 	model := reg.(*ml.GBTRegressor).Model()
-	return &Surrogate{model: model, dims: len(log[0].X)},
+	return newSurrogate(model, len(log[0].X)),
 		&TuneResult{Best: best, All: all}, nil
 }
 
@@ -88,8 +102,34 @@ func TrainSurrogateCVContext(ctx context.Context, log dataset.QueryLog, base gbt
 // features).
 func (s *Surrogate) Dims() int { return s.dims }
 
-// Model exposes the underlying ensemble.
+// Model exposes the underlying ensemble for inspection (importance,
+// eval history, persistence). Mutating it — e.g. calling the model's
+// ContinueTraining directly — does NOT refresh the surrogate's
+// compiled inference snapshot; use Surrogate.ContinueTraining, which
+// returns a fresh surrogate, for incremental training instead.
 func (s *Surrogate) Model() *gbt.Model { return s.model }
+
+// ContinueTraining returns a new surrogate whose ensemble has been
+// boosted extra rounds on fresh region evaluations (the paper's
+// Section V-D "keep the model fresh as more queries arrive"
+// deployment), with a freshly compiled inference snapshot. The
+// receiver is left untouched — surrogates stay immutable — so the
+// result can be swapped in atomically (as the engine does) while
+// queries keep running against the old snapshot.
+func (s *Surrogate) ContinueTraining(extra int, log dataset.QueryLog) (*Surrogate, error) {
+	if len(log) == 0 {
+		return nil, ErrEmptyLog
+	}
+	X, y := log.Features()
+	m := s.model.Clone()
+	if err := m.ContinueTraining(extra, X, y); err != nil {
+		return nil, err
+	}
+	return newSurrogate(m, s.dims), nil
+}
+
+// Compiled exposes the flat inference snapshot built at construction.
+func (s *Surrogate) Compiled() *gbt.CompiledModel { return s.compiled }
 
 // Predict estimates the statistic for a region.
 func (s *Surrogate) Predict(x, l []float64) float64 {
@@ -99,17 +139,21 @@ func (s *Surrogate) Predict(x, l []float64) float64 {
 	row := make([]float64, 0, 2*s.dims)
 	row = append(row, x...)
 	row = append(row, l...)
-	return s.model.Predict1(row)
+	return s.compiled.Predict1(row)
+}
+
+// PredictBatch estimates the statistic for a batch of regions, each
+// given as one flat [x, l] row of length 2·Dims (the optimizer's
+// solution-space encoding), writing the i-th estimate to out[i]. It
+// performs no allocation: out must have exactly len(rows) entries.
+// Results are bit-for-bit equal to per-region Predict calls.
+func (s *Surrogate) PredictBatch(rows [][]float64, out []float64) {
+	s.compiled.PredictBatch(rows, out)
 }
 
 // StatFn adapts the surrogate to the objective's StatFn type.
 func (s *Surrogate) StatFn() StatFn {
 	return func(x, l []float64) float64 { return s.Predict(x, l) }
-}
-
-// gobSurrogate is the wire form.
-type gobSurrogate struct {
-	Dims int
 }
 
 // Save writes the surrogate (dimensionality header + model).
@@ -136,5 +180,5 @@ func LoadSurrogate(r io.Reader) (*Surrogate, error) {
 	if model.NumFeatures() != 2*dims {
 		return nil, fmt.Errorf("core: model has %d features, header says %d dims", model.NumFeatures(), dims)
 	}
-	return &Surrogate{model: model, dims: dims}, nil
+	return newSurrogate(model, dims), nil
 }

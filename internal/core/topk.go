@@ -87,9 +87,7 @@ func (f *Finder) FindTopKContext(ctx context.Context, cfg TopKConfig) (*TopKResu
 	// over the dimensions to stay comparable.
 	sizeExp := fc.C / float64(dims)
 	stat := f.stat
-	obj := gso.ObjectiveFunc(func(vec []float64) (float64, bool) {
-		x, l := geom.DecodeRegion(vec)
-		y := stat(x, l)
+	score := func(l []float64, y float64) (float64, bool) {
 		if math.IsNaN(y) {
 			return 0, false
 		}
@@ -101,7 +99,14 @@ func (f *Finder) FindTopKContext(ctx context.Context, cfg TopKConfig) (*TopKResu
 			vol *= li
 		}
 		return sign * y / math.Pow(vol, sizeExp), true
+	}
+	var obj gso.Objective = gso.ObjectiveFunc(func(vec []float64) (float64, bool) {
+		x, l := geom.DecodeRegion(vec)
+		return score(l, stat(x, l))
 	})
+	if f.batch != nil {
+		obj = newBatchObjective(obj, f.batch, score)
+	}
 
 	space := geom.SolutionSpace(f.domain, fc.MinSideFrac, fc.MaxSideFrac)
 	res, err := gso.RunContext(ctx, fc.GSO, space, obj, gso.Options{InvalidWalk: 1})

@@ -91,7 +91,7 @@ func ablationGradient(rep *Report, scale Scale) error {
 		if err != nil {
 			return err
 		}
-		regions, _, err := mineWith(s.StatFn(), ds, Small, uint64(185+si))
+		regions, _, err := mineWithBatch(s.StatFn(), s, ds, Small, uint64(185+si))
 		if err != nil {
 			return err
 		}
@@ -117,7 +117,7 @@ func ablationKDE(rep *Report, scale Scale) error {
 		Header: []string{"kde", "regions", "true_compliance", "valid_particle_frac"},
 	}
 	for _, useKDE := range []bool{false, true} {
-		finder, err := core.NewFinder(s.StatFn(), ds.Domain())
+		finder, err := core.NewSurrogateFinder(s, ds.Domain())
 		if err != nil {
 			return err
 		}

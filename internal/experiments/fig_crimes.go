@@ -58,7 +58,7 @@ func Fig5Crimes(scale Scale) (*Report, error) {
 		return nil, err
 	}
 
-	finder, err := core.NewFinder(surrogate.StatFn(), crimes.Domain())
+	finder, err := core.NewSurrogateFinder(surrogate, crimes.Domain())
 	if err != nil {
 		return nil, err
 	}
@@ -198,7 +198,7 @@ func RunHAR(scale Scale, seed uint64) (*HARResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	finder, err := core.NewFinder(surrogate.StatFn(), har.Domain())
+	finder, err := core.NewSurrogateFinder(surrogate, har.Domain())
 	if err != nil {
 		return nil, err
 	}

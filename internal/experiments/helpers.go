@@ -141,13 +141,14 @@ func meanIoUPerGT(proposals, gt []geom.Rect) float64 {
 }
 
 // runSuRF trains a surrogate (time excluded from mining time, matching
-// the paper's train-once deployment) and mines regions with GSO.
+// the paper's train-once deployment) and mines regions with GSO over
+// the compiled batch predictor.
 func runSuRF(ds *synth.Dataset, scale Scale, seed uint64) (regions []geom.Rect, mine time.Duration, err error) {
 	s, _, _, err := trainedSurrogate(ds, scale, seed)
 	if err != nil {
 		return nil, 0, err
 	}
-	return mineWith(s.StatFn(), ds, scale, seed)
+	return mineWithBatch(s.StatFn(), s, ds, scale, seed)
 }
 
 // runFGlowWorm mines with GSO against the true f — the paper's
@@ -171,9 +172,18 @@ func runFGlowWormScan(ds *synth.Dataset, scale Scale, seed uint64) ([]geom.Rect,
 }
 
 func mineWith(stat core.StatFn, ds *synth.Dataset, scale Scale, seed uint64) ([]geom.Rect, time.Duration, error) {
+	return mineWithBatch(stat, nil, ds, scale, seed)
+}
+
+// mineWithBatch is mineWith with an optional batch predictor (the
+// surrogate's compiled ensemble); results are identical either way.
+func mineWithBatch(stat core.StatFn, batch core.BatchPredictor, ds *synth.Dataset, scale Scale, seed uint64) ([]geom.Rect, time.Duration, error) {
 	finder, err := core.NewFinder(stat, ds.Domain())
 	if err != nil {
 		return nil, 0, err
+	}
+	if batch != nil {
+		finder.AttachBatch(batch)
 	}
 	cfg := core.FinderConfig{
 		Threshold: ds.SuggestedYR,

@@ -1,0 +1,33 @@
+package gbt
+
+import "math/rand/v2"
+
+// BenchEnsemble trains the deterministic 4-feature ensemble that both
+// the gbt inference micro-benchmarks and surf-bench's -json mode
+// measure, plus probeRows random probe rows. One shared builder keeps
+// the two suites measuring the same model shape, so their speedups
+// stay comparable; the default 300x8 configuration sizes the node
+// arrays well past L2, making the per-row walk pay the full cache
+// cost it pays in production swarms.
+func BenchEnsemble(trees, depth, probeRows int) (*Model, [][]float64, error) {
+	rng := rand.New(rand.NewPCG(17, 1))
+	const n = 6000
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		y[i] = 1000*X[i][0]*X[i][2] + 100*X[i][1] - 50*X[i][3]
+	}
+	p := DefaultParams()
+	p.NumTrees = trees
+	p.MaxDepth = depth
+	m, err := Train(p, X, y, nil, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	probes := make([][]float64, probeRows)
+	for i := range probes {
+		probes[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	return m, probes, nil
+}

@@ -170,10 +170,30 @@ func (m *Model) Predict1(row []float64) float64 {
 // Predict returns predictions for a matrix of raw feature rows.
 func (m *Model) Predict(X [][]float64) []float64 {
 	out := make([]float64, len(X))
-	for i, row := range X {
-		out[i] = m.Predict1(row)
-	}
+	m.PredictInto(X, out)
 	return out
+}
+
+// PredictInto writes predictions for every row of X into out without
+// allocating. out must have exactly len(X) entries; every row's width
+// is validated up front so a mismatch anywhere in the batch fails
+// before any prediction is written.
+func (m *Model) PredictInto(X [][]float64, out []float64) {
+	if len(out) != len(X) {
+		panic(fmt.Sprintf("gbt: PredictInto output of length %d for %d rows", len(out), len(X)))
+	}
+	for i, row := range X {
+		if len(row) != m.nfeat {
+			panic(fmt.Sprintf("gbt: PredictInto row %d of dimension %d, want %d", i, len(row), m.nfeat))
+		}
+	}
+	for i, row := range X {
+		s := m.baseScore
+		for _, t := range m.trees {
+			s += t.predict(row)
+		}
+		out[i] = s
+	}
 }
 
 // FeatureImportance returns per-feature total split gain, normalized

@@ -6,6 +6,20 @@ import (
 	"math/rand/v2"
 )
 
+// Clone returns an independent copy of the model: continued training
+// on the clone never mutates the original (trained trees themselves
+// are immutable and shared).
+func (m *Model) Clone() *Model {
+	return &Model{
+		params:      m.params,
+		baseScore:   m.baseScore,
+		trees:       append([]*tree(nil), m.trees...),
+		nfeat:       m.nfeat,
+		evalHistory: append([]float64(nil), m.evalHistory...),
+		bestRound:   m.bestRound,
+	}
+}
+
 // ContinueTraining boosts extra rounds on top of an already-trained
 // ensemble using (possibly new) data, supporting the paper's
 // deployment where a surrogate is trained once and then kept fresh as

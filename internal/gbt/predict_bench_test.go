@@ -1,0 +1,82 @@
+package gbt
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// The inference micro-benchmarks compare the row-at-a-time node-walk
+// baseline (BenchmarkPredict1) with the compiled flat-array batch
+// predictor (BenchmarkPredictBatch) at swarm-sized batches. CI runs
+// them on every push:
+//
+//	go test -bench=Predict -benchtime=200ms -run='^$' ./internal/gbt/
+//
+// The shared BenchEnsemble sizes the ensemble so its node arrays
+// exceed the L2 cache — per-row walks then drag the whole model
+// through the cache once per row, which is exactly the pattern the
+// trees-outer/rows-inner batch loop avoids.
+var inferenceBench struct {
+	once sync.Once
+	m    *Model
+	c    *CompiledModel
+	X    [][]float64
+	out  []float64
+}
+
+const inferenceBenchRows = 1024
+
+func inferenceBenchSetup(b *testing.B) {
+	inferenceBench.once.Do(func() {
+		m, probes, err := BenchEnsemble(300, 8, inferenceBenchRows)
+		if err != nil {
+			panic(err)
+		}
+		inferenceBench.m = m
+		inferenceBench.c = m.Compile()
+		inferenceBench.X = probes
+		inferenceBench.out = make([]float64, inferenceBenchRows)
+	})
+	b.Helper()
+}
+
+var benchSink float64
+
+// BenchmarkPredict1 is the row-at-a-time baseline: one pointer-chasing
+// tree walk per tree per row.
+func BenchmarkPredict1(b *testing.B) {
+	inferenceBenchSetup(b)
+	for _, rows := range []int{1, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			X := inferenceBench.X[:rows]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, row := range X {
+					benchSink = inferenceBench.m.Predict1(row)
+				}
+			}
+			b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// BenchmarkPredictBatch is the compiled trees-outer/rows-inner batch
+// path writing into a caller-owned buffer (0 allocs/op steady state).
+func BenchmarkPredictBatch(b *testing.B) {
+	inferenceBenchSetup(b)
+	for _, rows := range []int{1, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			X := inferenceBench.X[:rows]
+			out := inferenceBench.out[:rows]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inferenceBench.c.PredictBatch(X, out)
+			}
+			benchSink = out[0]
+			b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}

@@ -55,6 +55,29 @@ type ObjectiveFunc func(pos []float64) (float64, bool)
 // Fitness calls f.
 func (f ObjectiveFunc) Fitness(pos []float64) (float64, bool) { return f(pos) }
 
+// BatchObjective is an Objective that can evaluate many positions with
+// one model pass (e.g. a compiled boosted-tree surrogate). When the
+// objective passed to Run implements it, each swarm iteration is
+// evaluated as Workers contiguous shards, one BatchEvaluator per
+// worker, instead of position-by-position Fitness calls. Batch results
+// must be bit-for-bit equal to Fitness on each position.
+type BatchObjective interface {
+	Objective
+	// NewBatchEvaluator returns a fresh evaluator owning its own
+	// scratch buffers. The optimizer creates one per worker up front
+	// and reuses it every iteration, so steady-state evaluation is
+	// allocation-free.
+	NewBatchEvaluator() BatchEvaluator
+}
+
+// BatchEvaluator evaluates one shard of positions, writing fitness[i],
+// valid[i] for pos[i]. Implementations may keep internal scratch and
+// therefore must not be shared across goroutines; distinct evaluators
+// must be safe to run concurrently.
+type BatchEvaluator interface {
+	EvaluateBatch(pos [][]float64, fitness []float64, valid []bool)
+}
+
 // SelectionWeight optionally re-weights the probability of selecting a
 // neighbour at the given position (paper Eq. 8). Must return a
 // non-negative value; nil disables re-weighting.
@@ -97,7 +120,9 @@ type Params struct {
 	// identical to the sequential run — only the fitness evaluations
 	// parallelize; the movement phase keeps its deterministic RNG
 	// stream. The objective must be safe for concurrent calls (the
-	// boosted-tree surrogate is).
+	// boosted-tree surrogate is). Objectives implementing
+	// BatchObjective are evaluated shard-at-a-time with one
+	// preallocated evaluator per worker.
 	Workers int
 	// Seed drives initialization and neighbour selection.
 	Seed uint64
@@ -292,6 +317,7 @@ func RunContext(ctx context.Context, p Params, bounds geom.Rect, obj Objective, 
 	if opts.Weight != nil {
 		wcache = make([]float64, L)
 	}
+	eval := newSwarmEvaluator(obj, p.Workers, L)
 
 	for t := 0; t < p.MaxIters; t++ {
 		if err := ctx.Err(); err != nil {
@@ -300,7 +326,7 @@ func RunContext(ctx context.Context, p Params, bounds geom.Rect, obj Objective, 
 		// Phase 1: fitness evaluation (optionally parallel) followed
 		// by the luciferin update. Invalid positions decay only,
 		// emulating the undefined log objective (paper Section V-F).
-		evaluate(obj, pos, fitness, valid, p.Workers)
+		eval.run(pos, fitness, valid)
 		res.Evaluations += L
 		var sumFit float64
 		var nValid int
@@ -440,32 +466,67 @@ func InitialRadius(glowworms, dims int, meanExtent float64) float64 {
 	return math.Pow(frac, 1/float64(dims)) * meanExtent
 }
 
-// evaluate fills fitness and valid for every position, fanning out to
-// the given number of worker goroutines when workers > 1.
-func evaluate(obj Objective, pos [][]float64, fitness []float64, valid []bool, workers int) {
-	if workers <= 1 || len(pos) < 2*workers {
-		for i := range pos {
-			fitness[i], valid[i] = obj.Fitness(pos[i])
+// swarmEvaluator owns the per-run fitness-evaluation machinery: the
+// worker count and, for batch-capable objectives, one BatchEvaluator
+// per worker created once and reused every iteration so the steady
+// state performs no allocation.
+type swarmEvaluator struct {
+	obj     Objective
+	workers int
+	batch   []BatchEvaluator // one per worker; nil for scalar objectives
+}
+
+// newSwarmEvaluator sizes the worker pool for a swarm of the given
+// size, keeping the historical rule that shards smaller than two
+// positions per worker run sequentially.
+func newSwarmEvaluator(obj Objective, workers, swarm int) *swarmEvaluator {
+	if workers < 1 || swarm < 2*workers {
+		workers = 1
+	}
+	e := &swarmEvaluator{obj: obj, workers: workers}
+	if bo, ok := obj.(BatchObjective); ok {
+		e.batch = make([]BatchEvaluator, workers)
+		for w := range e.batch {
+			e.batch[w] = bo.NewBatchEvaluator()
 		}
+	}
+	return e
+}
+
+// run fills fitness and valid for every position, sharding the swarm
+// across the worker goroutines. Shards are contiguous and written
+// disjointly, so results match the sequential evaluation exactly.
+func (e *swarmEvaluator) run(pos [][]float64, fitness []float64, valid []bool) {
+	if e.workers == 1 {
+		e.shard(0, pos, fitness, valid)
 		return
 	}
 	var wg sync.WaitGroup
-	chunk := (len(pos) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
+	chunk := (len(pos) + e.workers - 1) / e.workers
+	for w := 0; w < e.workers; w++ {
 		lo := w * chunk
 		hi := min(lo+chunk, len(pos))
 		if lo >= hi {
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fitness[i], valid[i] = obj.Fitness(pos[i])
-			}
-		}(lo, hi)
+			e.shard(w, pos[lo:hi], fitness[lo:hi], valid[lo:hi])
+		}(w, lo, hi)
 	}
 	wg.Wait()
+}
+
+// shard evaluates one contiguous slice of the swarm on worker w.
+func (e *swarmEvaluator) shard(w int, pos [][]float64, fitness []float64, valid []bool) {
+	if e.batch != nil {
+		e.batch[w].EvaluateBatch(pos, fitness, valid)
+		return
+	}
+	for i := range pos {
+		fitness[i], valid[i] = e.obj.Fitness(pos[i])
+	}
 }
 
 func randomPoint(rng *rand.Rand, bounds geom.Rect) []float64 {

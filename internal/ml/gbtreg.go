@@ -25,11 +25,16 @@ func (r *GBTRegressor) Fit(X [][]float64, y []float64) error {
 }
 
 // Predict returns ensemble predictions; it panics if Fit has not run.
+// The single output allocation the interface requires is the only one:
+// predictions are written through the model's allocation-free
+// PredictInto.
 func (r *GBTRegressor) Predict(X [][]float64) []float64 {
 	if r.model == nil {
 		panic("ml: GBTRegressor.Predict before Fit")
 	}
-	return r.model.Predict(X)
+	out := make([]float64, len(X))
+	r.model.PredictInto(X, out)
+	return out
 }
 
 // Model exposes the trained ensemble (nil before Fit).

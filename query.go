@@ -164,16 +164,21 @@ func gsoParams(dims, glowworms, iterations, workers int, seed uint64) gso.Params
 	return g
 }
 
-// statFnFor picks the statistic function a query optimizes: the true
-// evaluator when requested, else the given surrogate snapshot.
-func statFnFor(e *Engine, surr *core.Surrogate, useTrue bool) (core.StatFn, error) {
+// finderFor builds the finder a query optimizes over: against the true
+// evaluator when requested, else against the given surrogate snapshot
+// with its compiled batch predictor attached so swarm iterations run
+// one model pass per particle shard.
+func finderFor(e *Engine, surr *core.Surrogate, useTrue bool) (*core.Finder, core.StatFn, error) {
 	switch {
 	case useTrue:
-		return core.StatFnFromEvaluator(e.evaluator), nil
+		stat := core.StatFnFromEvaluator(e.evaluator)
+		f, err := core.NewFinder(stat, e.domain)
+		return f, stat, err
 	case surr != nil:
-		return surr.StatFn(), nil
+		f, err := core.NewSurrogateFinder(surr, e.domain)
+		return f, surr.StatFn(), err
 	default:
-		return nil, ErrNoSurrogate
+		return nil, nil, ErrNoSurrogate
 	}
 }
 
@@ -206,11 +211,7 @@ func (e *Engine) FindTopKContext(ctx context.Context, q TopKQuery) (*Result, err
 }
 
 func findContext(ctx context.Context, e *Engine, surr *core.Surrogate, q Query) (*Result, error) {
-	statFn, err := statFnFor(e, surr, q.UseTrueFunction)
-	if err != nil {
-		return nil, err
-	}
-	finder, err := core.NewFinder(statFn, e.domain)
+	finder, statFn, err := finderFor(e, surr, q.UseTrueFunction)
 	if err != nil {
 		return nil, err
 	}
@@ -303,11 +304,7 @@ func findTopKContext(ctx context.Context, e *Engine, surr *core.Surrogate, q Top
 	if q.K < 1 {
 		return nil, fmt.Errorf("%w: K must be >= 1", ErrBadQuery)
 	}
-	statFn, err := statFnFor(e, surr, q.UseTrueFunction)
-	if err != nil {
-		return nil, err
-	}
-	finder, err := core.NewFinder(statFn, e.domain)
+	finder, _, err := finderFor(e, surr, q.UseTrueFunction)
 	if err != nil {
 		return nil, err
 	}
