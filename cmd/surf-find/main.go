@@ -8,61 +8,179 @@
 //	surf-find -data data.csv -filters x,y -stat count \
 //	          -model model.surf -threshold 1000 -above
 //	surf-find -data data.csv -filters x,y -stat count \
-//	          -true -threshold 50 -below
+//	          -true -threshold 50 -below -stream
+//
+// Beyond the built-in statistics, -stat accepts the custom statistics
+// range, iqr and midrange (computed over -target), which exercise the
+// CustomStatistic API end to end. With -stream, regions are printed
+// the moment their swarm cluster stabilizes instead of only after the
+// run converges.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"slices"
+	"sort"
 	"strings"
+	"sync"
 
 	surf "surf"
 	"surf/internal/cli"
 )
 
 func main() {
-	var (
-		dataPath  = flag.String("data", "", "dataset CSV (required)")
-		filters   = flag.String("filters", "", "comma-separated filter columns (required)")
-		stat      = flag.String("stat", "count", "statistic: count, sum, mean, min, max, median, variance, stddev, ratio")
-		target    = flag.String("target", "", "target column (for statistics other than count)")
-		modelPath = flag.String("model", "", "trained surrogate from surf-train")
-		useTrue   = flag.Bool("true", false, "optimize against the true function instead of a surrogate")
-		threshold = flag.Float64("threshold", 0, "statistic threshold yR (required)")
-		above     = flag.Bool("above", false, "seek regions with statistic > threshold")
-		below     = flag.Bool("below", false, "seek regions with statistic < threshold")
-		c         = flag.Float64("c", 4, "region-size regularizer (larger prefers smaller regions)")
-		clusters  = flag.Bool("clusters", false, "report swarm-cluster extents instead of individual regions")
-		kde       = flag.Bool("kde", false, "weight particle movement by the data density (Eq. 8)")
-		topk      = flag.Int("topk", 0, "instead of a threshold query, return the k most extreme regions (use -above for highest, -below for lowest)")
-		maxOut    = flag.Int("max", 10, "maximum regions to report")
-		seed      = flag.Uint64("seed", 1, "optimizer seed")
-	)
+	var o findOpts
+	flag.StringVar(&o.dataPath, "data", "", "dataset CSV (required)")
+	flag.StringVar(&o.filters, "filters", "", "comma-separated filter columns (required)")
+	flag.StringVar(&o.stat, "stat", "count", "statistic: count, sum, mean, min, max, median, variance, stddev, ratio, or a custom statistic (range, iqr, midrange; require -target)")
+	flag.StringVar(&o.target, "target", "", "target column (for statistics other than count)")
+	flag.StringVar(&o.modelPath, "model", "", "trained surrogate from surf-train")
+	flag.BoolVar(&o.useTrue, "true", false, "optimize against the true function instead of a surrogate")
+	flag.Float64Var(&o.threshold, "threshold", 0, "statistic threshold yR (required)")
+	flag.BoolVar(&o.above, "above", false, "seek regions with statistic > threshold")
+	flag.BoolVar(&o.below, "below", false, "seek regions with statistic < threshold")
+	flag.Float64Var(&o.c, "c", 4, "region-size regularizer (larger prefers smaller regions)")
+	flag.BoolVar(&o.clusters, "clusters", false, "report swarm-cluster extents instead of individual regions")
+	flag.BoolVar(&o.kde, "kde", false, "weight particle movement by the data density (Eq. 8)")
+	flag.IntVar(&o.topk, "topk", 0, "instead of a threshold query, return the k most extreme regions (use -above for highest, -below for lowest)")
+	flag.IntVar(&o.maxOut, "max", 10, "maximum regions to report")
+	flag.BoolVar(&o.stream, "stream", false, "print regions progressively as their swarm clusters stabilize")
+	flag.Uint64Var(&o.seed, "seed", 1, "optimizer seed")
 	flag.Parse()
 	ctx, stop := cli.SignalContext()
 	defer stop()
-	if err := run(ctx, *dataPath, *filters, *stat, *target, *modelPath, *useTrue, *threshold, *above, *below, *c, *clusters, *kde, *topk, *maxOut, *seed); err != nil {
+	if err := run(ctx, o); err != nil {
 		cli.Exit("surf-find", err)
 	}
 }
 
-func run(ctx context.Context, dataPath, filters, stat, target, modelPath string, useTrue bool, threshold float64, above, below bool, c float64, clusters, kde bool, topk, maxOut int, seed uint64) error {
-	if dataPath == "" || filters == "" {
+// findOpts carries the parsed command line.
+type findOpts struct {
+	dataPath, filters, stat, target, modelPath string
+	useTrue, above, below, clusters, kde       bool
+	stream                                     bool
+	threshold, c                               float64
+	topk, maxOut                               int
+	seed                                       uint64
+}
+
+// cliCustomStats builds the demonstration custom statistics surf-find
+// registers on demand, each aggregating the target column (passed as
+// its index into the dataset's rows).
+var cliCustomStats = map[string]func(target int) func(rows [][]float64) float64{
+	// range is the spread max−min of the target inside the region.
+	"range": func(target int) func(rows [][]float64) float64 {
+		return func(rows [][]float64) float64 {
+			if len(rows) == 0 {
+				return math.NaN()
+			}
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, r := range rows {
+				lo = math.Min(lo, r[target])
+				hi = math.Max(hi, r[target])
+			}
+			return hi - lo
+		}
+	},
+	// iqr is the interquartile range Q3−Q1 of the target.
+	"iqr": func(target int) func(rows [][]float64) float64 {
+		return func(rows [][]float64) float64 {
+			if len(rows) == 0 {
+				return math.NaN()
+			}
+			vals := make([]float64, len(rows))
+			for i, r := range rows {
+				vals[i] = r[target]
+			}
+			sort.Float64s(vals)
+			return quantile(vals, 0.75) - quantile(vals, 0.25)
+		}
+	},
+	// midrange is (min+max)/2 of the target.
+	"midrange": func(target int) func(rows [][]float64) float64 {
+		return func(rows [][]float64) float64 {
+			if len(rows) == 0 {
+				return math.NaN()
+			}
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, r := range rows {
+				lo = math.Min(lo, r[target])
+				hi = math.Max(hi, r[target])
+			}
+			return (lo + hi) / 2
+		}
+	},
+}
+
+// quantile interpolates the q-quantile of sorted values.
+func quantile(sorted []float64, q float64) float64 {
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Custom statistics register process-wide, so remember what each name
+// was bound to and reject a rebind to a different target column.
+var (
+	customMu    sync.Mutex
+	customCache = map[string]struct {
+		stat   surf.Statistic
+		target int
+	}{}
+)
+
+// resolveStatistic parses -stat, registering a CLI custom statistic
+// over the target column on first use.
+func resolveStatistic(names []string, stat, target string) (surf.Statistic, error) {
+	builder, custom := cliCustomStats[stat]
+	if !custom {
+		return surf.ParseStatistic(stat)
+	}
+	if target == "" {
+		return 0, fmt.Errorf("-stat %s requires -target", stat)
+	}
+	idx := slices.Index(names, target)
+	if idx < 0 {
+		return 0, fmt.Errorf("target column %q not in dataset", target)
+	}
+	customMu.Lock()
+	defer customMu.Unlock()
+	if c, ok := customCache[stat]; ok {
+		if c.target != idx {
+			return 0, fmt.Errorf("custom statistic %q already bound to column %d in this process", stat, c.target)
+		}
+		return c.stat, nil
+	}
+	s, err := surf.CustomStatistic(stat, builder(idx))
+	if err != nil {
+		return 0, err
+	}
+	customCache[stat] = struct {
+		stat   surf.Statistic
+		target int
+	}{s, idx}
+	return s, nil
+}
+
+func run(ctx context.Context, o findOpts) error {
+	if o.dataPath == "" || o.filters == "" {
 		return fmt.Errorf("-data and -filters are required")
 	}
-	if above == below {
+	if o.above == o.below {
 		return fmt.Errorf("exactly one of -above / -below is required")
 	}
-	if modelPath == "" && !useTrue {
+	if o.modelPath == "" && !o.useTrue {
 		return fmt.Errorf("either -model or -true is required")
 	}
-	statistic, err := surf.ParseStatistic(stat)
-	if err != nil {
-		return err
-	}
-	f, err := os.Open(dataPath)
+	f, err := os.Open(o.dataPath)
 	if err != nil {
 		return err
 	}
@@ -71,17 +189,21 @@ func run(ctx context.Context, dataPath, filters, stat, target, modelPath string,
 	if err != nil {
 		return err
 	}
+	statistic, err := resolveStatistic(ds.Names(), o.stat, o.target)
+	if err != nil {
+		return err
+	}
 	eng, err := surf.Open(ds, surf.Config{
-		FilterColumns: strings.Split(filters, ","),
+		FilterColumns: strings.Split(o.filters, ","),
 		Statistic:     statistic,
-		TargetColumn:  target,
+		TargetColumn:  o.target,
 		UseGridIndex:  true,
 	})
 	if err != nil {
 		return err
 	}
-	if modelPath != "" {
-		mf, err := os.Open(modelPath)
+	if o.modelPath != "" {
+		mf, err := os.Open(o.modelPath)
 		if err != nil {
 			return err
 		}
@@ -92,66 +214,123 @@ func run(ctx context.Context, dataPath, filters, stat, target, modelPath string,
 		}
 	}
 
+	names := strings.Split(o.filters, ",")
 	var res *surf.Result
-	if topk > 0 {
-		res, err = eng.FindTopKContext(ctx, surf.TopKQuery{
-			K:               topk,
-			Largest:         above,
-			C:               c,
-			UseTrueFunction: useTrue,
-			Seed:            seed,
-		})
-		if err != nil {
-			return err
-		}
+	if o.topk > 0 {
 		order := "lowest"
-		if above {
+		if o.above {
 			order = "highest"
 		}
-		fmt.Printf("query: top-%d %s-%s(%s) over %s\n", topk, order, stat, filters, dataPath)
-	} else {
-		res, err = eng.FindContext(ctx, surf.Query{
-			Threshold:       threshold,
-			Above:           above,
-			C:               c,
-			MaxRegions:      maxOut,
-			UseTrueFunction: useTrue,
-			UseKDE:          kde,
-			ClusterExtents:  clusters,
-			Seed:            seed,
-		})
-		if err != nil {
-			return err
+		fmt.Printf("query: top-%d %s-%s(%s) over %s\n", o.topk, order, o.stat, o.filters, o.dataPath)
+		q := surf.TopKQuery{
+			K:               o.topk,
+			Largest:         o.above,
+			C:               o.c,
+			UseTrueFunction: o.useTrue,
+			Seed:            o.seed,
 		}
+		if o.stream {
+			st, err := eng.StreamTopK(ctx, q)
+			if err != nil {
+				return err
+			}
+			res, err = drainStream(st)
+			if err != nil {
+				return err
+			}
+		} else {
+			res, err = eng.FindTopKContext(ctx, q)
+			if err != nil {
+				return err
+			}
+		}
+	} else {
 		dir := "<"
-		if above {
+		if o.above {
 			dir = ">"
 		}
-		fmt.Printf("query: %s(%s) %s %g over %s  [%.2fs, %.0f%% particles valid]\n",
-			stat, filters, dir, threshold, dataPath,
+		q := surf.Query{
+			Threshold:       o.threshold,
+			Above:           o.above,
+			C:               o.c,
+			MaxRegions:      o.maxOut,
+			UseTrueFunction: o.useTrue,
+			UseKDE:          o.kde,
+			ClusterExtents:  o.clusters,
+			Seed:            o.seed,
+		}
+		fmt.Printf("query: %s(%s) %s %g over %s\n", o.stat, o.filters, dir, o.threshold, o.dataPath)
+		if o.stream {
+			st, err := eng.Stream(ctx, q)
+			if err != nil {
+				return err
+			}
+			res, err = drainStream(st, func(ev surf.EventRegion) {
+				fmt.Printf("incumbent (iter %d):", ev.Iteration)
+				printRegionLine(ev.Region, names, true)
+			})
+			if err != nil {
+				return err
+			}
+		} else {
+			res, err = eng.FindContext(ctx, q)
+			if err != nil {
+				return err
+			}
+		}
+		fmt.Printf("converged in %.2fs, %.0f%% particles valid\n",
 			res.ElapsedSeconds, res.ValidParticleFraction*100)
 	}
+
 	if len(res.Regions) == 0 {
 		fmt.Println("no regions satisfy the constraint")
 		return nil
 	}
-	names := strings.Split(filters, ",")
 	for i, r := range res.Regions {
 		fmt.Printf("region %d:", i)
-		for j, name := range names {
-			fmt.Printf(" %s in [%.4g, %.4g]", name, r.Min[j], r.Max[j])
-		}
-		fmt.Printf("  estimate=%.4g", r.Estimate)
-		if r.Verified {
-			fmt.Printf(" true=%.4g", r.TrueValue)
-			if topk == 0 {
-				fmt.Printf(" satisfies=%v", r.Satisfies)
-			}
-		}
-		fmt.Println()
+		printRegionLine(r, names, o.topk == 0)
 	}
-	if topk == 0 {
+	if o.topk == 0 {
 		fmt.Printf("%.0f%% of proposed regions verified against the true statistic\n", res.ComplianceRate*100)
 	}
 	return nil
+}
+
+// drainStream consumes a stream, printing progress every 25
+// iterations and forwarding incumbent regions to onRegion, and
+// returns the final result.
+func drainStream(st *surf.Stream, onRegion ...func(surf.EventRegion)) (*surf.Result, error) {
+	for ev, err := range st.Events() {
+		if err != nil {
+			return nil, err
+		}
+		switch ev := ev.(type) {
+		case surf.EventIteration:
+			if (ev.Iteration+1)%25 == 0 {
+				fmt.Printf("iter %d: E[J]=%.4g, %.0f%% particles valid\n",
+					ev.Iteration, ev.MeanFitness, ev.ValidParticleFraction*100)
+			}
+		case surf.EventRegion:
+			for _, fn := range onRegion {
+				fn(ev)
+			}
+		}
+	}
+	return st.Result()
+}
+
+// printRegionLine prints one region's bounds and values (the leading
+// label is the caller's).
+func printRegionLine(r surf.Region, names []string, threshold bool) {
+	for j, name := range names {
+		fmt.Printf(" %s in [%.4g, %.4g]", name, r.Min[j], r.Max[j])
+	}
+	fmt.Printf("  estimate=%.4g", r.Estimate)
+	if r.Verified {
+		fmt.Printf(" true=%.4g", r.TrueValue)
+		if threshold {
+			fmt.Printf(" satisfies=%v", r.Satisfies)
+		}
+	}
+	fmt.Println()
 }

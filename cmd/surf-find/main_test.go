@@ -11,12 +11,14 @@ import (
 )
 
 // clusteredDataset writes a CSV with a dense cluster at (0.7, 0.3).
+// The v column rises with x so target statistics have structure.
 func clusteredDataset(t *testing.T, dir string) string {
 	t.Helper()
 	rng := rand.New(rand.NewPCG(1, 1))
 	const n = 4000
 	xs := make([]float64, n)
 	ys := make([]float64, n)
+	vs := make([]float64, n)
 	for i := 0; i < n; i++ {
 		if i%3 == 0 {
 			xs[i] = 0.7 + rng.NormFloat64()*0.04
@@ -25,8 +27,9 @@ func clusteredDataset(t *testing.T, dir string) string {
 			xs[i] = rng.Float64()
 			ys[i] = rng.Float64()
 		}
+		vs[i] = 10*xs[i] + rng.NormFloat64()
 	}
-	ds, err := surf.NewDataset([]string{"x", "y"}, [][]float64{xs, ys})
+	ds, err := surf.NewDataset([]string{"x", "y", "v"}, [][]float64{xs, ys, vs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,17 +45,39 @@ func clusteredDataset(t *testing.T, dir string) string {
 	return path
 }
 
+// baseOpts returns a valid true-function threshold query over the
+// clustered dataset.
+func baseOpts(data string) findOpts {
+	return findOpts{
+		dataPath:  data,
+		filters:   "x,y",
+		stat:      "count",
+		useTrue:   true,
+		threshold: 200,
+		above:     true,
+		c:         4,
+		maxOut:    5,
+		seed:      1,
+	}
+}
+
 func TestRunValidation(t *testing.T) {
-	if err := run(context.Background(), "", "", "count", "", "", false, 1, true, false, 4, false, false, 0, 5, 1); err == nil {
+	if err := run(context.Background(), findOpts{stat: "count", threshold: 1, above: true, c: 4, maxOut: 5, seed: 1}); err == nil {
 		t.Error("expected error without -data/-filters")
 	}
-	if err := run(context.Background(), "x.csv", "x", "count", "", "", false, 1, true, true, 4, false, false, 0, 5, 1); err == nil {
+	both := baseOpts("x.csv")
+	both.below = true
+	if err := run(context.Background(), both); err == nil {
 		t.Error("expected error for both -above and -below")
 	}
-	if err := run(context.Background(), "x.csv", "x", "count", "", "", false, 1, false, false, 4, false, false, 0, 5, 1); err == nil {
+	neither := baseOpts("x.csv")
+	neither.above = false
+	if err := run(context.Background(), neither); err == nil {
 		t.Error("expected error for neither -above nor -below")
 	}
-	if err := run(context.Background(), "x.csv", "x", "count", "", "", false, 1, true, false, 4, false, false, 0, 5, 1); err == nil {
+	noModel := baseOpts("x.csv")
+	noModel.useTrue = false
+	if err := run(context.Background(), noModel); err == nil {
 		t.Error("expected error without -model or -true")
 	}
 }
@@ -60,7 +85,9 @@ func TestRunValidation(t *testing.T) {
 func TestRunTrueFunction(t *testing.T) {
 	dir := t.TempDir()
 	data := clusteredDataset(t, dir)
-	if err := run(context.Background(), data, "x,y", "count", "", "", true, 200, true, false, 4, true, false, 0, 5, 1); err != nil {
+	o := baseOpts(data)
+	o.clusters = true
+	if err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -68,7 +95,12 @@ func TestRunTrueFunction(t *testing.T) {
 func TestRunWithKDE(t *testing.T) {
 	dir := t.TempDir()
 	data := clusteredDataset(t, dir)
-	if err := run(context.Background(), data, "x,y", "count", "", "", true, 100, true, false, 4, false, true, 0, 3, 2); err != nil {
+	o := baseOpts(data)
+	o.threshold = 100
+	o.kde = true
+	o.maxOut = 3
+	o.seed = 2
+	if err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -76,7 +108,47 @@ func TestRunWithKDE(t *testing.T) {
 func TestRunTopK(t *testing.T) {
 	dir := t.TempDir()
 	data := clusteredDataset(t, dir)
-	if err := run(context.Background(), data, "x,y", "count", "", "", true, 0, true, false, 4, false, false, 2, 5, 1); err != nil {
+	o := baseOpts(data)
+	o.threshold = 0
+	o.topk = 2
+	if err := run(context.Background(), o); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunStreaming(t *testing.T) {
+	dir := t.TempDir()
+	data := clusteredDataset(t, dir)
+	o := baseOpts(data)
+	o.stream = true
+	if err := run(context.Background(), o); err != nil {
+		t.Fatal(err)
+	}
+	// Streaming top-k: telemetry only, then the final result.
+	o.topk = 2
+	if err := run(context.Background(), o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCustomStatistic(t *testing.T) {
+	dir := t.TempDir()
+	data := clusteredDataset(t, dir)
+	o := baseOpts(data)
+	o.stat = "range"
+	o.target = "v"
+	o.threshold = 2
+	if err := run(context.Background(), o); err != nil {
+		t.Fatal(err)
+	}
+	// Same name, same target: resolves from the cache.
+	if err := run(context.Background(), o); err != nil {
+		t.Fatal(err)
+	}
+	// Custom statistics need a target column.
+	noTarget := o
+	noTarget.target = ""
+	if err := run(context.Background(), noTarget); err == nil {
+		t.Error("expected error for custom statistic without -target")
 	}
 }

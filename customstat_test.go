@@ -1,0 +1,136 @@
+package surf
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// valueGrid builds a dataset whose v column has high spread inside
+// the box x,y ∈ [0.6, 0.8]×[0.2, 0.4] and low spread elsewhere.
+func valueGrid(n int, seed uint64) *Dataset {
+	rng := rand.New(rand.NewPCG(seed, 7))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	vs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+		if xs[i] > 0.6 && xs[i] < 0.8 && ys[i] > 0.2 && ys[i] < 0.4 {
+			vs[i] = rng.Float64() * 100
+		} else {
+			vs[i] = 50 + rng.Float64()
+		}
+	}
+	d, err := NewDataset([]string{"x", "y", "v"}, [][]float64{xs, ys, vs})
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// spanOf is the reference implementation of the test statistic:
+// max−min of column 2.
+func spanOf(rows [][]float64) float64 {
+	if len(rows) == 0 {
+		return math.NaN()
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range rows {
+		lo = math.Min(lo, r[2])
+		hi = math.Max(hi, r[2])
+	}
+	return hi - lo
+}
+
+// spanStat registers the shared custom statistic once for this test
+// binary (registrations are process-wide).
+var spanStat = func() Statistic {
+	s, err := CustomStatistic("test-span", spanOf)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}()
+
+// TestCustomStatisticEvaluate checks the custom statistic through
+// both evaluators: linear scan and grid index must agree with the
+// reference computation.
+func TestCustomStatisticEvaluate(t *testing.T) {
+	d := valueGrid(4000, 3)
+	cfg := Config{FilterColumns: []string{"x", "y"}, Statistic: spanStat}
+	linear, err := Open(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.UseGridIndex = true
+	grid, err := Open(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(11, 12))
+	for i := 0; i < 50; i++ {
+		center := []float64{rng.Float64(), rng.Float64()}
+		half := []float64{0.02 + rng.Float64()*0.2, 0.02 + rng.Float64()*0.2}
+		lv, lc := linear.Evaluate(center, half)
+		gv, gc := grid.Evaluate(center, half)
+		if lc != gc {
+			t.Fatalf("region %d: counts differ: linear %d, grid %d", i, lc, gc)
+		}
+		if lv != gv && !(math.IsNaN(lv) && math.IsNaN(gv)) {
+			t.Fatalf("region %d: values differ: linear %g, grid %g", i, lv, gv)
+		}
+		if lc == 0 && !math.IsNaN(lv) {
+			t.Fatalf("region %d: empty region should be NaN, got %g", i, lv)
+		}
+	}
+	// Spot check against the reference over the whole domain.
+	v, n := linear.Evaluate([]float64{0.5, 0.5}, []float64{0.5, 0.5})
+	if n != d.Len() {
+		t.Fatalf("whole-domain count = %d, want %d", n, d.Len())
+	}
+	rows := make([][]float64, d.Len())
+	xs, ys, vs := d.Column("x"), d.Column("y"), d.Column("v")
+	for i := range rows {
+		rows[i] = []float64{xs[i], ys[i], vs[i]}
+	}
+	if want := spanOf(rows); v != want {
+		t.Fatalf("whole-domain span = %g, want %g", v, want)
+	}
+}
+
+// TestCustomStatisticEndToEnd runs the full pipeline on a custom
+// statistic: workload generation, surrogate training, mining. The
+// high-spread box is the only region whose span exceeds ~60.
+func TestCustomStatisticEndToEnd(t *testing.T) {
+	d := valueGrid(6000, 5)
+	eng, err := Open(d, Config{FilterColumns: []string{"x", "y"}, Statistic: spanStat, UseGridIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := eng.GenerateWorkload(1200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.TrainSurrogate(wl, TrainOptions{Trees: 80}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Find(Query{Threshold: 80, Above: true, Seed: 3, MinSideFrac: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regions) == 0 {
+		t.Fatal("no high-spread regions found")
+	}
+	found := false
+	for _, r := range res.Regions {
+		cx := (r.Min[0] + r.Max[0]) / 2
+		cy := (r.Min[1] + r.Max[1]) / 2
+		if math.Abs(cx-0.7) < 0.2 && math.Abs(cy-0.3) < 0.2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no region near the planted high-spread box")
+	}
+}

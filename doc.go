@@ -42,5 +42,57 @@
 //     verification and the f+GlowWorm baseline via WithBackend.
 //   - Failures are classified by exported sentinel errors
 //     (ErrNoSurrogate, ErrDimMismatch, ErrBadConfig, …) that work
-//     with errors.Is.
+//     with errors.Is. Queries are validated up front, before any
+//     mining starts, so ErrBadQuery surfaces immediately from Find,
+//     Stream and FindMany alike.
+//
+// # Streaming queries
+//
+// Find blocks until the swarm converges; Engine.Stream delivers the
+// same run progressively. The stream emits EventIteration telemetry
+// every optimizer iteration, an EventRegion the moment an incumbent
+// region's swarm cluster stabilizes, and a terminal EventDone whose
+// Result is identical to the batch call's — Find is implemented as a
+// drained Stream, so there is exactly one execution path:
+//
+//	st, _ := eng.Stream(ctx, surf.Query{Threshold: 1000, Above: true})
+//	for ev, err := range st.Events() {
+//		if err != nil {
+//			break // the run failed or was cancelled
+//		}
+//		switch ev := ev.(type) {
+//		case surf.EventRegion:
+//			fmt.Println("incumbent:", ev.Region.Min, ev.Region.Max)
+//		case surf.EventDone:
+//			fmt.Println("final:", len(ev.Result.Regions), "regions")
+//		}
+//	}
+//
+// Breaking out of the loop (or cancelling ctx) stops the mining
+// goroutine within one swarm iteration; Stream.Result then returns
+// the incumbents delivered so far together with the run's error.
+// WithObserver taps the same events engine-wide without consuming
+// any stream, and Engine.FindMany executes a batch of queries
+// against one pinned surrogate snapshot on a shared worker pool,
+// yielding each result as it finishes.
+//
+// # Custom statistics
+//
+// Beyond the built-in enum, CustomStatistic registers a named
+// statistic computed by an arbitrary function over the data rows
+// inside a region. The result composes with everything: Config,
+// workload generation, surrogate training, Find/Stream/FindMany and
+// ParseStatistic round trips.
+//
+//	spread, _ := surf.CustomStatistic("spread", func(rows [][]float64) float64 {
+//		if len(rows) == 0 {
+//			return math.NaN() // undefined on empty regions
+//		}
+//		lo, hi := math.Inf(1), math.Inf(-1)
+//		for _, r := range rows {
+//			lo, hi = math.Min(lo, r[2]), math.Max(hi, r[2])
+//		}
+//		return hi - lo
+//	})
+//	eng, _ := surf.Open(ds, surf.Config{FilterColumns: []string{"x", "y"}, Statistic: spread})
 package surf

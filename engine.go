@@ -116,6 +116,7 @@ type Engine struct {
 	spec      dataset.Spec
 	evaluator dataset.Evaluator
 	domain    geom.Rect
+	observer  func(Event)
 	surrogate atomic.Pointer[core.Surrogate]
 }
 
@@ -127,7 +128,8 @@ func Open(ds *Dataset, cfg Config, opts ...Option) (*Engine, error) {
 	if ds == nil {
 		return nil, fmt.Errorf("%w: nil dataset", ErrBadConfig)
 	}
-	if int(cfg.Statistic) < 0 || int(cfg.Statistic) >= len(statKinds) {
+	kind, ok := cfg.Statistic.kind()
+	if !ok {
 		return nil, fmt.Errorf("%w: unknown statistic %d", ErrBadConfig, int(cfg.Statistic))
 	}
 	if len(cfg.FilterColumns) == 0 {
@@ -137,7 +139,7 @@ func Open(ds *Dataset, cfg Config, opts ...Option) (*Engine, error) {
 	for _, opt := range opts {
 		opt(&eo)
 	}
-	spec := dataset.Spec{Stat: statKinds[cfg.Statistic]}
+	spec := dataset.Spec{Stat: kind}
 	for _, name := range cfg.FilterColumns {
 		i := ds.inner.ColByName(name)
 		if i < 0 {
@@ -193,6 +195,7 @@ func Open(ds *Dataset, cfg Config, opts ...Option) (*Engine, error) {
 		spec:      spec,
 		evaluator: ev,
 		domain:    domain,
+		observer:  eo.observer,
 	}, nil
 }
 

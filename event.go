@@ -1,0 +1,50 @@
+package surf
+
+// Event is one item in a query's progressive result stream. The
+// concrete types are EventIteration (swarm telemetry), EventRegion
+// (an incumbent region delivered the moment its swarm cluster
+// stabilizes) and EventDone (the final ranked result). The set is
+// closed: consumers may type-switch exhaustively over the three.
+type Event interface{ isEvent() }
+
+// EventIteration carries one swarm iteration's convergence telemetry
+// — the streaming form of the paper's Fig. 9 E[J] curves. One is
+// emitted per optimizer iteration.
+type EventIteration struct {
+	// Iteration is the 0-based iteration index.
+	Iteration int
+	// MeanFitness is E[J] over particles on valid positions (NaN when
+	// none are valid yet).
+	MeanFitness float64
+	// MeanLuciferin is the swarm's average luciferin level.
+	MeanLuciferin float64
+	// ValidParticleFraction is the share of particles on
+	// constraint-satisfying positions.
+	ValidParticleFraction float64
+	// Moved is how many particles moved this iteration.
+	Moved int
+}
+
+// EventRegion delivers an incumbent region as soon as the swarm
+// cluster proposing it has stopped drifting (it survived consecutive
+// extraction sweeps; see Engine.Stream). Incumbents are provisional:
+// the final extraction from the fully converged swarm — delivered via
+// EventDone — remains authoritative, and is the one that is verified
+// against the true statistic. Each incumbent is delivered once; its
+// Region has Estimate, Score and Worms set but is never Verified.
+type EventRegion struct {
+	Region Region
+	// Iteration is the swarm iteration at which the cluster was
+	// confirmed stable.
+	Iteration int
+}
+
+// EventDone is the final event of a successfully completed stream and
+// carries the same Result the equivalent batch Find call returns.
+type EventDone struct {
+	Result *Result
+}
+
+func (EventIteration) isEvent() {}
+func (EventRegion) isEvent()    {}
+func (EventDone) isEvent()      {}

@@ -1,0 +1,122 @@
+// Streaming: progressive region delivery, a custom statistic, and
+// multi-query execution against one pinned surrogate snapshot.
+//
+//  1. Build a dataset whose v column has high spread inside one box.
+//  2. Register a custom "spread" statistic (max−min of v) and open an
+//     engine with it — no target column needed, the statistic sees
+//     whole rows.
+//  3. Train the surrogate, then Stream a query: incumbent regions
+//     print the moment their swarm cluster stabilizes, and EventDone
+//     carries the same Result the blocking Find would return.
+//  4. Run a small batch of queries through FindMany, results arriving
+//     in completion order.
+//
+// Run with: go run ./examples/streaming
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"math/rand/v2"
+	"os"
+	"os/signal"
+	"syscall"
+
+	surf "surf"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// 1. 8,000 points; v is wildly spread inside [0.6,0.8]×[0.2,0.4]
+	// and nearly constant elsewhere.
+	rng := rand.New(rand.NewPCG(7, 2))
+	const n = 8000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	vs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+		if xs[i] > 0.6 && xs[i] < 0.8 && ys[i] > 0.2 && ys[i] < 0.4 {
+			vs[i] = rng.Float64() * 100
+		} else {
+			vs[i] = 50 + rng.Float64()
+		}
+	}
+	ds, err := surf.NewDataset([]string{"x", "y", "v"}, [][]float64{xs, ys, vs})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. A custom statistic: the spread of v inside the region.
+	spread, err := surf.CustomStatistic("spread", func(rows [][]float64) float64 {
+		if len(rows) == 0 {
+			return math.NaN()
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range rows {
+			lo, hi = math.Min(lo, r[2]), math.Max(hi, r[2])
+		}
+		return hi - lo
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := surf.Open(ds, surf.Config{
+		FilterColumns: []string{"x", "y"},
+		Statistic:     spread,
+		UseGridIndex:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Train, then stream a threshold query.
+	wl, err := eng.GenerateWorkloadContext(ctx, 2000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.TrainSurrogateContext(ctx, wl); err != nil {
+		log.Fatal(err)
+	}
+	st, err := eng.Stream(ctx, surf.Query{
+		Threshold: 80, Above: true, Seed: 3, MinSideFrac: 0.05,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for ev, err := range st.Events() {
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch ev := ev.(type) {
+		case surf.EventRegion:
+			fmt.Printf("incumbent (iter %3d): x∈[%.2f,%.2f] y∈[%.2f,%.2f] spread≈%.1f\n",
+				ev.Iteration, ev.Region.Min[0], ev.Region.Max[0],
+				ev.Region.Min[1], ev.Region.Max[1], ev.Region.Estimate)
+		case surf.EventDone:
+			fmt.Printf("converged: %d regions, %.0f%% verified compliant\n",
+				len(ev.Result.Regions), ev.Result.ComplianceRate*100)
+		}
+	}
+
+	// 4. A batch of thresholds over one pinned surrogate snapshot.
+	queries := make([]surf.Query, 4)
+	for i := range queries {
+		queries[i] = surf.Query{
+			Threshold: 60 + 10*float64(i), Above: true,
+			Seed: uint64(i + 1), MinSideFrac: 0.05, SkipVerify: true,
+		}
+	}
+	for r := range eng.FindMany(ctx, queries) {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+		fmt.Printf("query %d (threshold %.0f): %d regions\n",
+			r.Index, queries[r.Index].Threshold, len(r.Result.Regions))
+	}
+}

@@ -72,6 +72,26 @@ type FinderConfig struct {
 	DedupeIoU float64
 	// MaxRegions caps the number of returned regions (default 16).
 	MaxRegions int
+	// OnIteration, when non-nil, receives every swarm iteration's
+	// telemetry as it completes — the streaming form of the paper's
+	// Fig. 9 E[J] curves. Called synchronously on the mining
+	// goroutine; it must not block.
+	OnIteration func(gso.IterStats)
+	// OnRegion, when non-nil, receives incumbent regions as their
+	// swarm clusters stabilize: every EmitEvery iterations the live
+	// swarm is reduced to candidate regions (the same greedy IoU
+	// clustering as the final extraction) and a candidate persisting
+	// for StableChecks consecutive sweeps is delivered once. The
+	// final FindResult re-extracts from the converged swarm and
+	// remains authoritative. Called synchronously on the mining
+	// goroutine.
+	OnRegion func(Region)
+	// EmitEvery is the sweep period, in iterations, for OnRegion
+	// (default 10).
+	EmitEvery int
+	// StableChecks is how many consecutive sweeps a candidate region
+	// must survive before OnRegion delivers it (default 2).
+	StableChecks int
 }
 
 // withDefaults fills unset fields.
@@ -101,6 +121,12 @@ func (c FinderConfig) withDefaults(dims int) FinderConfig {
 	}
 	if c.MaxRegions == 0 {
 		c.MaxRegions = 16
+	}
+	if c.EmitEvery == 0 {
+		c.EmitEvery = 10
+	}
+	if c.StableChecks == 0 {
+		c.StableChecks = 2
 	}
 	return c
 }
@@ -196,6 +222,22 @@ func (f *Finder) FindContext(ctx context.Context, cfg FinderConfig) (*FindResult
 	// instead of freezing, so a swarm that starts entirely outside a
 	// narrow valid basin can still find it (see gso.Options).
 	opts := gso.Options{InvalidWalk: 1}
+	if cfg.OnIteration != nil || cfg.OnRegion != nil {
+		var tracker *incumbentTracker
+		if cfg.OnRegion != nil {
+			tracker = newIncumbentTracker(f, cfg, cfg.OnRegion)
+		}
+		onIter := cfg.OnIteration
+		emitEvery := cfg.EmitEvery
+		opts.Observer = func(it gso.IterStats, view gso.SwarmView) {
+			if onIter != nil {
+				onIter(it)
+			}
+			if tracker != nil && (it.Iteration+1)%emitEvery == 0 {
+				tracker.sweep(view)
+			}
+		}
+	}
 	if cfg.UseKDE {
 		if f.density == nil {
 			return nil, errors.New("core: UseKDE set but no density attached (call AttachDensity)")
@@ -227,16 +269,56 @@ func (f *Finder) FindContext(ctx context.Context, cfg FinderConfig) (*FindResult
 	}, nil
 }
 
+// swarmCand is one particle proposed as a region candidate.
+type swarmCand struct {
+	vec []float64
+	fit float64
+}
+
+// clusteredCand is a deduplicated candidate region: the best particle
+// of a greedy IoU cluster plus how many particles merged into it.
+type clusteredCand struct {
+	rect  geom.Rect
+	x, l  []float64
+	score float64
+	worms int
+}
+
+// greedyCluster reduces particle candidates to deduplicated regions:
+// candidates are sorted by fitness and, best first, a candidate whose
+// box overlaps an accepted region with IoU >= dedupeIoU merges into
+// it (counting toward its worms); the accepted list caps at
+// maxRegions. Shared by the final extraction and the incumbent
+// sweeps of the streaming path so the two can never diverge. The
+// cands slice is reordered in place.
+func greedyCluster(cands []swarmCand, domain geom.Rect, dedupeIoU float64, maxRegions int) []clusteredCand {
+	sort.Slice(cands, func(i, j int) bool { return cands[i].fit > cands[j].fit })
+	var out []clusteredCand
+	for _, c := range cands {
+		x, l := geom.DecodeRegion(c.vec)
+		rect := geom.FromCenter(x, l).Clip(domain)
+		merged := false
+		for ri := range out {
+			if out[ri].rect.IoU(rect) >= dedupeIoU {
+				out[ri].worms++
+				merged = true
+				break
+			}
+		}
+		if merged || len(out) >= maxRegions {
+			continue
+		}
+		out = append(out, clusteredCand{rect: rect, x: x, l: l, score: c.fit, worms: 1})
+	}
+	return out
+}
+
 // extractRegions converts converged valid particles into deduplicated
 // regions: particles are sorted by fitness and greedily clustered by
 // box overlap; each cluster's best particle becomes the
 // representative.
 func (f *Finder) extractRegions(res *gso.Result, obj gso.Objective, cfg FinderConfig) []Region {
-	type cand struct {
-		vec []float64
-		fit float64
-	}
-	var cands []cand
+	var cands []swarmCand
 	for i, pos := range res.Positions {
 		if !res.Valid[i] {
 			continue
@@ -246,33 +328,15 @@ func (f *Finder) extractRegions(res *gso.Result, obj gso.Objective, cfg FinderCo
 		if !ok || math.IsNaN(fit) {
 			continue
 		}
-		cands = append(cands, cand{vec: pos, fit: fit})
+		cands = append(cands, swarmCand{vec: pos, fit: fit})
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].fit > cands[j].fit })
-
 	var regions []Region
-	for _, c := range cands {
-		x, l := geom.DecodeRegion(c.vec)
-		rect := geom.FromCenter(x, l).Clip(f.domain)
-		merged := false
-		for ri := range regions {
-			if regions[ri].Rect.IoU(rect) >= cfg.DedupeIoU {
-				regions[ri].Worms++
-				merged = true
-				break
-			}
-		}
-		if merged {
-			continue
-		}
-		if len(regions) >= cfg.MaxRegions {
-			continue
-		}
+	for _, c := range greedyCluster(cands, f.domain, cfg.DedupeIoU, cfg.MaxRegions) {
 		regions = append(regions, Region{
-			Rect:     rect,
-			Score:    c.fit,
-			Estimate: f.stat(x, l),
-			Worms:    1,
+			Rect:     c.rect,
+			Score:    c.score,
+			Estimate: f.stat(c.x, c.l),
+			Worms:    c.worms,
 		})
 	}
 	return regions

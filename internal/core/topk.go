@@ -40,6 +40,11 @@ type TopKConfig struct {
 	// ClusterEps is the swarm-cluster linkage threshold (default
 	// 0.05 of the domain extent).
 	ClusterEps float64
+	// OnIteration, when non-nil, receives every swarm iteration's
+	// telemetry as it completes. Top-k regions are only materialized
+	// by the end-of-run clustering, so there is no per-region
+	// streaming counterpart here.
+	OnIteration func(gso.IterStats)
 }
 
 // TopKResult is the outcome of FindTopK.
@@ -109,7 +114,12 @@ func (f *Finder) FindTopKContext(ctx context.Context, cfg TopKConfig) (*TopKResu
 	}
 
 	space := geom.SolutionSpace(f.domain, fc.MinSideFrac, fc.MaxSideFrac)
-	res, err := gso.RunContext(ctx, fc.GSO, space, obj, gso.Options{InvalidWalk: 1})
+	opts := gso.Options{InvalidWalk: 1}
+	if cfg.OnIteration != nil {
+		onIter := cfg.OnIteration
+		opts.Observer = func(it gso.IterStats, _ gso.SwarmView) { onIter(it) }
+	}
+	res, err := gso.RunContext(ctx, fc.GSO, space, obj, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -47,7 +47,14 @@ func New(names []string, cols [][]float64) (*Dataset, error) {
 		}
 	}
 	seen := make(map[string]bool, len(names))
-	for _, name := range names {
+	for i, name := range names {
+		// An empty name is almost certainly a construction bug, and a
+		// lone empty name serializes to a CSV blank line that cannot
+		// be re-read (found by FuzzReadCSVDataset) — reject it here so
+		// no dataset can exist that WriteCSV renders unreadable.
+		if name == "" {
+			return nil, fmt.Errorf("dataset: empty name for column %d", i)
+		}
 		if seen[name] {
 			return nil, fmt.Errorf("dataset: duplicate column %q", name)
 		}
@@ -232,10 +239,20 @@ func (s *LinearScan) Spec() Spec { return s.spec }
 func (s *LinearScan) Dims() int { return len(s.spec.FilterCols) }
 
 // Evaluate scans all rows, feeding those inside the region to the
-// statistic accumulator.
+// statistic accumulator (or, for custom statistics, collecting the
+// matching rows and applying the registered row function).
 func (s *LinearScan) Evaluate(region geom.Rect) (float64, int) {
 	if region.Dims() != s.Dims() {
 		panic(fmt.Sprintf("dataset: region of dimension %d for spec of dimension %d", region.Dims(), s.Dims()))
+	}
+	if fn, ok := stats.CustomFunc(s.spec.Stat); ok {
+		var idx []int
+		for i := 0; i < s.d.n; i++ {
+			if s.rowInside(i, region) {
+				idx = append(idx, i)
+			}
+		}
+		return fn(s.d.materializeRows(idx)), len(idx)
 	}
 	acc := s.spec.Stat.NewAccumulator()
 	var target []float64
@@ -264,6 +281,36 @@ rows:
 		return math.NaN(), 0
 	}
 	return acc.Value(), acc.Count()
+}
+
+// rowInside reports whether row i falls inside the region on the
+// spec's filter columns.
+func (s *LinearScan) rowInside(i int, region geom.Rect) bool {
+	for j, c := range s.spec.FilterCols {
+		v := s.d.cols[c][i]
+		if v < region.Min[j] || v > region.Max[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// materializeRows gathers the indexed rows across all columns, in the
+// dataset's column order — the representation custom statistics
+// consume. Rows share one backing array to keep the allocation count
+// independent of the match count.
+func (d *Dataset) materializeRows(idx []int) [][]float64 {
+	w := len(d.cols)
+	rows := make([][]float64, len(idx))
+	flat := make([]float64, len(idx)*w)
+	for r, i := range idx {
+		row := flat[r*w : (r+1)*w : (r+1)*w]
+		for c := range d.cols {
+			row[c] = d.cols[c][i]
+		}
+		rows[r] = row
+	}
+	return rows
 }
 
 // CountingEvaluator wraps an Evaluator and counts calls; the experiment

@@ -167,7 +167,14 @@ func (s *DiskScan) Evaluate(region geom.Rect) (float64, int) {
 	}
 	br := bufio.NewReaderSize(f, 1<<20)
 
-	acc := s.spec.Stat.NewAccumulator()
+	customFn, isCustom := stats.CustomFunc(s.spec.Stat)
+	var acc stats.Accumulator
+	if !isCustom {
+		acc = s.spec.Stat.NewAccumulator()
+	}
+	// Custom statistics aggregate whole rows, so the matching rows are
+	// collected in memory; bounded by the match count, not N.
+	var matched [][]float64
 	rowBytes := 8 * s.cols
 	buf := make([]byte, rowBytes*s.chunkRows)
 	remaining := s.n
@@ -190,6 +197,14 @@ func (s *DiskScan) Evaluate(region geom.Rect) (float64, int) {
 			if !inside {
 				continue
 			}
+			if isCustom {
+				row := make([]float64, s.cols)
+				for c := 0; c < s.cols; c++ {
+					row[c] = math.Float64frombits(binary.LittleEndian.Uint64(chunk[base+8*c:]))
+				}
+				matched = append(matched, row)
+				continue
+			}
 			var tv float64
 			if s.spec.Stat.NeedsTarget() {
 				tv = math.Float64frombits(binary.LittleEndian.Uint64(chunk[base+8*s.spec.TargetCol:]))
@@ -197,6 +212,9 @@ func (s *DiskScan) Evaluate(region geom.Rect) (float64, int) {
 			acc.Add(tv)
 		}
 		remaining -= rows
+	}
+	if isCustom {
+		return customFn(matched), len(matched)
 	}
 	if acc.Count() == 0 && s.spec.Stat != stats.Count && s.spec.Stat != stats.Sum {
 		return math.NaN(), 0

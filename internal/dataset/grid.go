@@ -157,17 +157,28 @@ func (g *GridIndex) Evaluate(region geom.Rect) (float64, int) {
 	if region.Dims() != dims {
 		panic(fmt.Sprintf("dataset: region of dimension %d for index of dimension %d", region.Dims(), dims))
 	}
+	customFn, isCustom := stats.CustomFunc(g.spec.Stat)
+
 	// Cell coordinate range overlapped by the region.
 	lo := make([]int, dims)
 	hi := make([]int, dims)
 	for j := 0; j < dims; j++ {
 		if region.Max[j] < g.domain.Min[j] || region.Min[j] > g.domain.Max[j] {
+			// Custom statistics define their own empty-set value, so
+			// an off-domain region goes through the registered
+			// function exactly as the scan evaluators do.
+			if isCustom {
+				return customFn(nil), 0
+			}
 			return g.emptyResult()
 		}
 		lo[j] = g.cellOf(region.Min[j], j)
 		hi[j] = g.cellOf(region.Max[j], j)
 	}
 
+	if isCustom {
+		return g.evaluateCustom(region, lo, hi, customFn)
+	}
 	decomposable := g.spec.Stat.Decomposable()
 	var acc stats.Accumulator
 	if !decomposable {
@@ -262,6 +273,54 @@ func (g *GridIndex) Evaluate(region geom.Rect) (float64, int) {
 		return math.NaN(), 0
 	}
 	return acc.Value(), acc.Count()
+}
+
+// evaluateCustom visits the cells overlapped by [lo, hi], collects
+// the in-region rows (interior cells wholesale, boundary cells after
+// per-row tests) and applies the registered row function. Custom
+// statistics are non-decomposable, so the pre-merged partials are
+// unusable; the row lists still restrict the scan to overlapping
+// cells.
+func (g *GridIndex) evaluateCustom(region geom.Rect, lo, hi []int, fn stats.RowFunc) (float64, int) {
+	dims := g.Dims()
+	filters := make([][]float64, dims)
+	for j, c := range g.spec.FilterCols {
+		filters[j] = g.d.cols[c]
+	}
+	var idx []int
+	coord := make([]int, dims)
+	copy(coord, lo)
+	for {
+		id := g.cellID(coord)
+		if g.count[id] > 0 {
+			interior := region.ContainsRect(g.cellRect(coord))
+		cellRows:
+			for _, ri := range g.rows[id] {
+				i := int(ri)
+				if !interior {
+					for j := range filters {
+						v := filters[j][i]
+						if v < region.Min[j] || v > region.Max[j] {
+							continue cellRows
+						}
+					}
+				}
+				idx = append(idx, i)
+			}
+		}
+		j := dims - 1
+		for ; j >= 0; j-- {
+			coord[j]++
+			if coord[j] <= hi[j] {
+				break
+			}
+			coord[j] = lo[j]
+		}
+		if j < 0 {
+			break
+		}
+	}
+	return fn(g.d.materializeRows(idx)), len(idx)
 }
 
 func (g *GridIndex) emptyResult() (float64, int) {

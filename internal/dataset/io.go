@@ -40,6 +40,13 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 		return nil, fmt.Errorf("dataset: read header: %w", err)
 	}
 	names := append([]string(nil), header...)
+	// Reject malformed headers before parsing any rows; New repeats
+	// the name checks for programmatically built datasets.
+	for i, name := range names {
+		if name == "" {
+			return nil, fmt.Errorf("dataset: empty name for column %d", i)
+		}
+	}
 	cols := make([][]float64, len(names))
 	row := 0
 	for {

@@ -209,11 +209,33 @@ type Result struct {
 	History [][][]float64
 }
 
+// SwarmView is a read-only window onto the optimizer's working state,
+// handed to Options.Observer once per iteration. All slices alias the
+// optimizer's live buffers: they are valid only for the duration of
+// the callback and must be copied if retained, and must not be
+// mutated. Fitness and Valid hold the evaluation results at the
+// start-of-iteration positions; Positions have already taken this
+// iteration's movement step (worms drift at most one step between
+// evaluation and observation).
+type SwarmView struct {
+	Positions [][]float64
+	Fitness   []float64
+	Valid     []bool
+	Luciferin []float64
+}
+
 // Options tune run behaviour beyond the core parameters.
 type Options struct {
 	// Weight re-weights neighbour selection (paper Eq. 8); nil
 	// disables.
 	Weight SelectionWeight
+	// Observer, when non-nil, is invoked synchronously at the end of
+	// every iteration with that iteration's telemetry (the same entry
+	// appended to Result.Trace) and a live view of the swarm. The
+	// observer is passive — it cannot perturb the run, so results are
+	// bit-identical with or without one — but it executes on the
+	// optimizer's goroutine: a slow observer stalls the swarm.
+	Observer func(IterStats, SwarmView)
 	// RecordHistory keeps every particle position per iteration.
 	RecordHistory bool
 	// InitPositions seeds the swarm at the given positions instead of
@@ -417,13 +439,17 @@ func RunContext(ctx context.Context, p Params, bounds geom.Rect, obj Objective, 
 			meanLuc += v
 		}
 		meanLuc /= float64(L)
-		res.Trace = append(res.Trace, IterStats{
+		it := IterStats{
 			Iteration:     t,
 			MeanFitness:   meanFit,
 			MeanLuciferin: meanLuc,
 			ValidFrac:     float64(nValid) / float64(L),
 			Moved:         moved,
-		})
+		}
+		res.Trace = append(res.Trace, it)
+		if opts.Observer != nil {
+			opts.Observer(it, SwarmView{Positions: pos, Fitness: fitness, Valid: valid, Luciferin: luc})
+		}
 		if opts.RecordHistory {
 			for i := 0; i < L; i++ {
 				res.History[i] = append(res.History[i], append([]float64(nil), pos[i]...))

@@ -134,7 +134,10 @@ func Run(p Params, space geom.Rect, obj gso.Objective) (*Result, error) {
 
 	const deadlineCheckEvery = 256
 	for {
-		if !deadline.IsZero() && res.Examined%deadlineCheckEvery == 0 && time.Now().After(deadline) {
+		// Examined > 0 guarantees at least one candidate is evaluated
+		// even when the budget is smaller than the setup cost, keeping
+		// ExaminedRatio meaningful on a timed-out run.
+		if !deadline.IsZero() && res.Examined > 0 && res.Examined%deadlineCheckEvery == 0 && time.Now().After(deadline) {
 			res.TimedOut = true
 			break
 		}

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRegisterAndLookup(t *testing.T) {
+	fn := func(rows [][]float64) float64 { return float64(len(rows)) }
+	k, err := Register("unit-rowcount", fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.IsCustom() {
+		t.Error("registered kind not custom")
+	}
+	if k.String() != "unit-rowcount" {
+		t.Errorf("String() = %q", k.String())
+	}
+	back, err := ParseKind("unit-rowcount")
+	if err != nil || back != k {
+		t.Errorf("ParseKind = (%v, %v), want %v", back, err, k)
+	}
+	got, ok := CustomFunc(k)
+	if !ok {
+		t.Fatal("CustomFunc missing")
+	}
+	if got([][]float64{{1}, {2}}) != 2 {
+		t.Error("wrong function returned")
+	}
+	if k.NeedsTarget() {
+		t.Error("custom kinds must not require a target column")
+	}
+	if k.Decomposable() {
+		t.Error("custom kinds must not claim decomposability")
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	fn := func([][]float64) float64 { return 0 }
+	if _, err := Register("", fn); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := Register("unit-nil", nil); err == nil {
+		t.Error("nil function accepted")
+	}
+	if _, err := Register("median", fn); err == nil {
+		t.Error("built-in shadow accepted")
+	}
+	if _, err := Register("unit-dup", fn); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Register("unit-dup", fn); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestCustomKindProbes(t *testing.T) {
+	// Values in the custom range that were never registered.
+	far := customBase + Kind(1<<16)
+	if far.IsCustom() {
+		t.Error("unregistered far kind claims custom")
+	}
+	if _, ok := CustomFunc(far); ok {
+		t.Error("CustomFunc for unregistered kind")
+	}
+	if far.String() == "" || far.String()[0] != 'K' {
+		t.Errorf("unregistered custom String() = %q, want Kind(...) form", far.String())
+	}
+	// Built-ins are never custom.
+	if Count.IsCustom() || Median.IsCustom() {
+		t.Error("built-in claims custom")
+	}
+	if _, ok := CustomFunc(Mean); ok {
+		t.Error("CustomFunc for built-in")
+	}
+}
+
+func TestNewAccumulatorPanicsOnCustom(t *testing.T) {
+	k, err := Register("unit-acc-panic", func([][]float64) float64 { return math.NaN() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewAccumulator on custom kind did not panic")
+		}
+	}()
+	k.NewAccumulator()
+}

@@ -44,31 +44,40 @@ var kindNames = map[Kind]string{
 	Ratio:    "ratio",
 }
 
-// String returns the lowercase name of the statistic.
+// String returns the lowercase name of the statistic (the registered
+// name for custom kinds).
 func (k Kind) String() string {
 	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	if s, ok := customName(k); ok {
 		return s
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
 // ParseKind converts a statistic name (as accepted on CLI flags) to its
-// Kind.
+// Kind. Names registered with Register resolve to their custom kinds.
 func ParseKind(s string) (Kind, error) {
 	for k, name := range kindNames {
 		if name == s {
 			return k, nil
 		}
 	}
+	if k, ok := lookupCustom(s); ok {
+		return k, nil
+	}
 	return 0, fmt.Errorf("stats: unknown statistic %q", s)
 }
 
 // NeedsTarget reports whether the statistic reads a target column
-// (everything except Count).
-func (k Kind) NeedsTarget() bool { return k != Count }
+// (everything except Count; custom statistics see whole rows and need
+// no designated target).
+func (k Kind) NeedsTarget() bool { return k != Count && !k.IsCustom() }
 
 // Decomposable reports whether the statistic can be computed from
 // mergeable partial aggregates (relevant for the grid-index fast path).
+// Custom statistics are treated as non-decomposable.
 func (k Kind) Decomposable() bool {
 	switch k {
 	case Count, Sum, Mean, Min, Max, Ratio:
@@ -77,8 +86,13 @@ func (k Kind) Decomposable() bool {
 	return false
 }
 
-// NewAccumulator returns a fresh accumulator computing k.
+// NewAccumulator returns a fresh accumulator computing k. Custom
+// kinds have no accumulator form — they aggregate whole rows, not a
+// scalar stream — so evaluators must branch on CustomFunc first.
 func (k Kind) NewAccumulator() Accumulator {
+	if k.IsCustom() {
+		panic(fmt.Sprintf("stats: NewAccumulator on custom statistic %q (evaluate via CustomFunc)", k))
+	}
 	switch k {
 	case Count:
 		return &CountAcc{}

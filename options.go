@@ -30,16 +30,29 @@ var statKinds = [...]stats.Kind{
 	StdDev: stats.StdDev, Ratio: stats.Ratio,
 }
 
-// String names the statistic.
-func (s Statistic) String() string {
+// kind resolves a Statistic to its internal stats.Kind, accepting
+// both the built-in enum and values returned by CustomStatistic.
+func (s Statistic) kind() (stats.Kind, bool) {
 	if s >= 0 && int(s) < len(statKinds) {
-		return statKinds[s].String()
+		return statKinds[s], true
+	}
+	if k := stats.Kind(s); k.IsCustom() {
+		return k, true
+	}
+	return 0, false
+}
+
+// String names the statistic (the registered name for custom
+// statistics).
+func (s Statistic) String() string {
+	if k, ok := s.kind(); ok {
+		return k.String()
 	}
 	return fmt.Sprintf("Statistic(%d)", int(s))
 }
 
-// ParseStatistic converts a name like "count" or "mean" to a
-// Statistic.
+// ParseStatistic converts a name like "count" or "mean" — or the name
+// of a statistic registered with CustomStatistic — to a Statistic.
 func ParseStatistic(name string) (Statistic, error) {
 	k, err := stats.ParseKind(name)
 	if err != nil {
@@ -50,7 +63,33 @@ func ParseStatistic(name string) (Statistic, error) {
 			return Statistic(s), nil
 		}
 	}
+	if k.IsCustom() {
+		return Statistic(k), nil
+	}
 	return 0, fmt.Errorf("surf: unmapped statistic %q", name)
+}
+
+// CustomStatistic registers a named statistic computed by fn over the
+// data rows inside a region and returns a Statistic that composes
+// with the built-in enum everywhere: Config.Statistic, workload
+// generation, surrogate training, Find/Stream/FindMany, and
+// ParseStatistic/String round-trips. Each row passed to fn carries
+// the dataset's columns in Names() order; rows arrive in no
+// guaranteed order and may be empty — return NaN to mark the
+// statistic undefined on a region (workload generation then resamples
+// it, exactly as for the built-in undefined-on-empty statistics).
+// Custom statistics need no TargetColumn: fn sees whole rows.
+//
+// The registration is process-wide (a name can be registered once and
+// parses from any engine) and fn must be safe for concurrent calls.
+// Registering an empty name, a nil function, or a name already taken
+// by a built-in or earlier registration returns ErrBadConfig.
+func CustomStatistic(name string, fn func(rows [][]float64) float64) (Statistic, error) {
+	k, err := stats.Register(name, fn)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	return Statistic(k), nil
 }
 
 // Option customizes an engine at Open time.
@@ -58,6 +97,7 @@ type Option func(*engineOptions)
 
 type engineOptions struct {
 	backend              Backend
+	observer             func(Event)
 	domainSet            bool
 	domainMin, domainMax []float64
 }
@@ -82,6 +122,18 @@ func WithDomain(min, max []float64) Option {
 		o.domainMin = append([]float64(nil), min...)
 		o.domainMax = append([]float64(nil), max...)
 	}
+}
+
+// WithObserver attaches a telemetry callback invoked with every
+// Event of every query the engine executes — Find, FindTopK, Stream,
+// StreamTopK and FindMany alike — without consuming the query's
+// stream. The callback runs synchronously on the mining goroutine
+// before the event is offered to the stream's consumer, so it must be
+// fast and must not call back into the engine; with concurrent
+// queries it is called concurrently and must be safe for concurrent
+// use.
+func WithObserver(fn func(Event)) Option {
+	return func(o *engineOptions) { o.observer = fn }
 }
 
 // TrainOptions tune surrogate training.

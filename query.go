@@ -139,6 +139,53 @@ type TopKQuery struct {
 	Seed       uint64
 }
 
+// validate rejects queries no run could execute, before any work
+// starts. Zero values mean "use the default" throughout the knobs, so
+// only negative (or non-finite) settings are errors. It is the single
+// validation gate shared by Find, Stream and FindMany.
+func (q Query) validate() error {
+	if math.IsNaN(q.Threshold) || math.IsInf(q.Threshold, 0) {
+		return fmt.Errorf("%w: threshold %g", ErrBadQuery, q.Threshold)
+	}
+	if q.MaxRegions < 0 {
+		return fmt.Errorf("%w: MaxRegions %d", ErrBadQuery, q.MaxRegions)
+	}
+	if q.KDESample < 0 {
+		return fmt.Errorf("%w: KDESample %d", ErrBadQuery, q.KDESample)
+	}
+	return validateTuning(q.C, q.Glowworms, q.Iterations, q.Workers, q.MinSideFrac, q.MaxSideFrac)
+}
+
+// validate is the validation gate shared by FindTopK and StreamTopK.
+func (q TopKQuery) validate() error {
+	if q.K < 1 {
+		return fmt.Errorf("%w: K must be >= 1", ErrBadQuery)
+	}
+	return validateTuning(q.C, q.Glowworms, q.Iterations, q.Workers, q.MinSideFrac, q.MaxSideFrac)
+}
+
+// validateTuning checks the optimizer knobs Query and TopKQuery
+// share. Zero means "default"; negative and non-finite values can
+// never be executed and are rejected up front with ErrBadQuery.
+func validateTuning(c float64, glowworms, iterations, workers int, minSide, maxSide float64) error {
+	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+	switch {
+	case !finite(c) || c < 0:
+		return fmt.Errorf("%w: region-size regularizer C %g", ErrBadQuery, c)
+	case glowworms < 0:
+		return fmt.Errorf("%w: Glowworms %d", ErrBadQuery, glowworms)
+	case iterations < 0:
+		return fmt.Errorf("%w: Iterations %d", ErrBadQuery, iterations)
+	case workers < 0:
+		return fmt.Errorf("%w: Workers %d", ErrBadQuery, workers)
+	case !finite(minSide) || minSide < 0 || !finite(maxSide) || maxSide < 0:
+		return fmt.Errorf("%w: side fractions [%g, %g]", ErrBadQuery, minSide, maxSide)
+	case minSide > 0 && maxSide > 0 && maxSide < minSide:
+		return fmt.Errorf("%w: side fractions [%g, %g] inverted", ErrBadQuery, minSide, maxSide)
+	}
+	return nil
+}
+
 // gsoParams is the single source of optimizer defaulting for Find and
 // FindTopK. The effective parameters are identical whether or not any
 // override is set: the swarm size is always the paper's L = 50·2d
@@ -210,24 +257,50 @@ func (e *Engine) FindTopKContext(ctx context.Context, q TopKQuery) (*Result, err
 	return findTopKContext(ctx, e, e.surrogate.Load(), q)
 }
 
+// findContext executes a threshold query by draining its stream:
+// batch Find and Engine.Stream share this one execution path, so a
+// fully drained stream and a Find call produce identical Results.
+// Batch callers skip the per-iteration telemetry and incumbent
+// sweeps (nobody consumes them) unless the engine has an observer —
+// both are passive, so results are identical either way.
 func findContext(ctx context.Context, e *Engine, surr *core.Surrogate, q Query) (*Result, error) {
-	finder, statFn, err := finderFor(e, surr, q.UseTrueFunction)
+	s, err := startStream(ctx, e, surr, q, e.observer != nil)
 	if err != nil {
 		return nil, err
 	}
-	dir := core.Below
-	if q.Above {
-		dir = core.Above
+	res, err := s.Result()
+	if err != nil {
+		return nil, err
 	}
-	cfg := core.FinderConfig{
-		Threshold:   q.Threshold,
-		Dir:         dir,
-		C:           q.C,
-		MaxRegions:  q.MaxRegions,
-		UseKDE:      q.UseKDE,
-		MinSideFrac: q.MinSideFrac,
-		MaxSideFrac: q.MaxSideFrac,
-		GSO:         gsoParams(e.Dims(), q.Glowworms, q.Iterations, q.Workers, q.Seed),
+	return res, nil
+}
+
+// findTopKContext executes a top-k query by draining its stream.
+func findTopKContext(ctx context.Context, e *Engine, surr *core.Surrogate, q TopKQuery) (*Result, error) {
+	s, err := startTopKStream(ctx, e, surr, q, e.observer != nil)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Result()
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// startStream validates the query and resolves everything that can
+// fail synchronously — finder construction, KDE fitting — before
+// spawning the mining goroutine, so Stream reports ErrBadQuery,
+// ErrNoSurrogate and kin as plain return values rather than burying
+// them in the event stream. With events false the run emits only the
+// terminal EventDone — the batch fast path.
+func startStream(ctx context.Context, e *Engine, surr *core.Surrogate, q Query, events bool) (*Stream, error) {
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	finder, statFn, err := finderFor(e, surr, q.UseTrueFunction)
+	if err != nil {
+		return nil, err
 	}
 	if q.UseKDE {
 		sample := q.KDESample
@@ -244,6 +317,78 @@ func findContext(ctx context.Context, e *Engine, surr *core.Surrogate, q Query) 
 		}
 		if err := finder.AttachDensity(points, sample, q.Seed+17); err != nil {
 			return nil, err
+		}
+	}
+	return newStream(ctx, e.observer, func(ctx context.Context, emit func(Event) bool) (*Result, error) {
+		return runQuery(ctx, e, finder, statFn, q, emit, events)
+	}), nil
+}
+
+// startTopKStream is startStream for top-k queries.
+func startTopKStream(ctx context.Context, e *Engine, surr *core.Surrogate, q TopKQuery, events bool) (*Stream, error) {
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	finder, _, err := finderFor(e, surr, q.UseTrueFunction)
+	if err != nil {
+		return nil, err
+	}
+	return newStream(ctx, e.observer, func(ctx context.Context, emit func(Event) bool) (*Result, error) {
+		return runTopK(ctx, e, finder, q, emit, events)
+	}), nil
+}
+
+// regionFromCore deep-copies a mined region into the public form.
+func regionFromCore(r core.Region) Region {
+	return Region{
+		Min:       append([]float64(nil), r.Rect.Min...),
+		Max:       append([]float64(nil), r.Rect.Max...),
+		Estimate:  r.Estimate,
+		Score:     r.Score,
+		Worms:     r.Worms,
+		TrueValue: r.TrueValue,
+		Verified:  r.Verified,
+		Satisfies: r.SatisfiesTrue,
+	}
+}
+
+// runQuery is the single execution path of threshold queries: swarm
+// mining with progressive event delivery, optional cluster-extent
+// reporting, then verification. With events false the mining runs
+// callback-free (no telemetry, no incumbent sweeps) — the events are
+// passive, so the Result is bit-identical either way.
+func runQuery(ctx context.Context, e *Engine, finder *core.Finder, statFn core.StatFn, q Query, emit func(Event) bool, events bool) (*Result, error) {
+	dir := core.Below
+	if q.Above {
+		dir = core.Above
+	}
+	cfg := core.FinderConfig{
+		Threshold:   q.Threshold,
+		Dir:         dir,
+		C:           q.C,
+		MaxRegions:  q.MaxRegions,
+		UseKDE:      q.UseKDE,
+		MinSideFrac: q.MinSideFrac,
+		MaxSideFrac: q.MaxSideFrac,
+		GSO:         gsoParams(e.Dims(), q.Glowworms, q.Iterations, q.Workers, q.Seed),
+	}
+	if events {
+		// Callbacks run synchronously on the mining goroutine, so
+		// curIter needs no synchronization: OnRegion always fires
+		// after the same iteration's OnIteration.
+		curIter := 0
+		cfg.OnIteration = func(it gso.IterStats) {
+			curIter = it.Iteration
+			emit(EventIteration{
+				Iteration:             it.Iteration,
+				MeanFitness:           it.MeanFitness,
+				MeanLuciferin:         it.MeanLuciferin,
+				ValidParticleFraction: it.ValidFrac,
+				Moved:                 it.Moved,
+			})
+		}
+		cfg.OnRegion = func(r core.Region) {
+			emit(EventRegion{Region: regionFromCore(r), Iteration: curIter})
 		}
 	}
 	res, err := finder.FindContext(ctx, cfg)
@@ -286,28 +431,13 @@ func findContext(ctx context.Context, e *Engine, surr *core.Surrogate, q Query) 
 		ElapsedSeconds:        res.Elapsed.Seconds(),
 	}
 	for _, r := range res.Regions {
-		out.Regions = append(out.Regions, Region{
-			Min:       append([]float64(nil), r.Rect.Min...),
-			Max:       append([]float64(nil), r.Rect.Max...),
-			Estimate:  r.Estimate,
-			Score:     r.Score,
-			Worms:     r.Worms,
-			TrueValue: r.TrueValue,
-			Verified:  r.Verified,
-			Satisfies: r.SatisfiesTrue,
-		})
+		out.Regions = append(out.Regions, regionFromCore(r))
 	}
 	return out, nil
 }
 
-func findTopKContext(ctx context.Context, e *Engine, surr *core.Surrogate, q TopKQuery) (*Result, error) {
-	if q.K < 1 {
-		return nil, fmt.Errorf("%w: K must be >= 1", ErrBadQuery)
-	}
-	finder, _, err := finderFor(e, surr, q.UseTrueFunction)
-	if err != nil {
-		return nil, err
-	}
+// runTopK is the single execution path of top-k queries.
+func runTopK(ctx context.Context, e *Engine, finder *core.Finder, q TopKQuery, emit func(Event) bool, events bool) (*Result, error) {
 	cfg := core.TopKConfig{
 		K:           q.K,
 		Largest:     q.Largest,
@@ -315,6 +445,17 @@ func findTopKContext(ctx context.Context, e *Engine, surr *core.Surrogate, q Top
 		MinSideFrac: q.MinSideFrac,
 		MaxSideFrac: q.MaxSideFrac,
 		GSO:         gsoParams(e.Dims(), q.Glowworms, q.Iterations, q.Workers, q.Seed),
+	}
+	if events {
+		cfg.OnIteration = func(it gso.IterStats) {
+			emit(EventIteration{
+				Iteration:             it.Iteration,
+				MeanFitness:           it.MeanFitness,
+				MeanLuciferin:         it.MeanLuciferin,
+				ValidParticleFraction: it.ValidFrac,
+				Moved:                 it.Moved,
+			})
+		}
 	}
 	res, err := finder.FindTopKContext(ctx, cfg)
 	if err != nil {

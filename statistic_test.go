@@ -1,6 +1,9 @@
 package surf
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
 // TestStatisticStringTable pins the wire names of every statistic and
 // the fallback formatting of unknown values.
@@ -72,5 +75,53 @@ func TestParseStatisticTable(t *testing.T) {
 		if err != nil || back != s {
 			t.Errorf("round trip %v -> %q -> (%v, %v)", s, s.String(), back, err)
 		}
+	}
+}
+
+// TestCustomStatisticRoundTrip covers registration, String/Parse
+// round trips over built-in and custom statistics together, and the
+// registration error paths.
+func TestCustomStatisticRoundTrip(t *testing.T) {
+	constant := func(rows [][]float64) float64 { return 42 }
+	custom, err := CustomStatistic("test-roundtrip", constant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if custom.String() != "test-roundtrip" {
+		t.Errorf("String() = %q, want the registered name", custom.String())
+	}
+	all := []Statistic{Count, Sum, Mean, Min, Max, Median, Variance, StdDev, Ratio, custom}
+	for _, s := range all {
+		back, err := ParseStatistic(s.String())
+		if err != nil {
+			t.Errorf("ParseStatistic(%q): %v", s.String(), err)
+			continue
+		}
+		if back != s {
+			t.Errorf("round trip %v -> %q -> %v", s, s.String(), back)
+		}
+	}
+
+	// Error paths, all classified ErrBadConfig.
+	for name, tc := range map[string]struct {
+		name string
+		fn   func([][]float64) float64
+	}{
+		"empty name":     {"", constant},
+		"nil fn":         {"test-nilfn", nil},
+		"builtin shadow": {"count", constant},
+		"duplicate":      {"test-roundtrip", constant},
+	} {
+		if _, err := CustomStatistic(tc.name, tc.fn); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("%s: err = %v, want ErrBadConfig", name, err)
+		}
+	}
+
+	// Unregistered out-of-range values still format and fail to parse.
+	if got := Statistic(1 << 20).String(); got != "Statistic(1048576)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+	if _, err := ParseStatistic("test-unregistered"); err == nil {
+		t.Error("expected error for unregistered custom name")
 	}
 }
