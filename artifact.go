@@ -1,0 +1,233 @@
+package surf
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"slices"
+
+	"surf/internal/core"
+	"surf/internal/gbt"
+	"surf/internal/stats"
+)
+
+// Engine-level surrogate artifacts. The paper's deployment story
+// (Section V-D) is "train once, reuse": surrogates are light enough
+// to always live in memory while the data stays on disk, so the
+// trained model is the durable asset. An artifact therefore carries
+// more than the ensemble: the spec it was trained for (statistic,
+// filter columns, target), the domain it was trained over and its
+// training provenance travel with the weights, and LoadSurrogate
+// refuses an artifact whose spec does not match the engine it is
+// loaded into — a model is only meaningful next to the question it
+// answers.
+//
+// Wire format: an ASCII header line "surfengine <version>\n" followed
+// by one gob-encoded envelope. The header keeps the version readable
+// before any decoding; the envelope nests the ensemble as opaque
+// bytes in the internal/gbt wire form, which is fully re-validated on
+// load. Version 1 is the only version so far; readers reject higher
+// versions rather than guess.
+
+// artifactVersion is the current engine-artifact format version.
+const artifactVersion = 1
+
+// artifactMagic starts the header line of every engine artifact;
+// legacyMagic identifies the pre-artifact format (bare dimensionality
+// header + model), which LoadSurrogate still accepts.
+const (
+	artifactMagic = "surfengine"
+	legacyMagic   = "surfmodel"
+)
+
+// artifactEnvelope is the gob wire form of an engine artifact.
+type artifactEnvelope struct {
+	Info SurrogateInfo
+	// CustomStatistic marks Info.Statistic as registered via
+	// CustomStatistic rather than built in, so load failures can say
+	// "register it first" instead of "corrupt artifact".
+	CustomStatistic bool
+	// Model is the ensemble in the internal gbt wire encoding.
+	Model []byte
+}
+
+// SaveSurrogate persists the engine's current surrogate as a
+// versioned artifact: the trained ensemble together with the spec it
+// approximates (statistic, filter columns, target), the training
+// domain and the training metadata exposed by SurrogateInfo.
+// LoadSurrogate on an engine with a matching spec restores it with
+// bit-identical predictions.
+func (e *Engine) SaveSurrogate(w io.Writer) error {
+	return e.SaveSurrogateContext(context.Background(), w)
+}
+
+// SaveSurrogateContext is SaveSurrogate with cancellation, checked
+// before the artifact is assembled and before it is written.
+func (e *Engine) SaveSurrogateContext(ctx context.Context, w io.Writer) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	sn := e.surrogate.Load()
+	if sn == nil {
+		return ErrNoSurrogate
+	}
+	var model bytes.Buffer
+	if err := sn.surr.Model().Save(&model); err != nil {
+		return err
+	}
+	env := artifactEnvelope{
+		Info:            sn.info,
+		CustomStatistic: e.spec.Stat.IsCustom(),
+		Model:           model.Bytes(),
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s %d\n", artifactMagic, artifactVersion); err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(bw).Encode(env); err != nil {
+		// A write/encode failure is an I/O problem, not a bad
+		// artifact; ErrBadArtifact is a load-side classification.
+		return fmt.Errorf("surf: encode artifact: %w", err)
+	}
+	return bw.Flush()
+}
+
+// LoadSurrogate restores a surrogate saved with SaveSurrogate and
+// atomically swaps it in, rebuilding the compiled inference snapshot;
+// predictions after the load are bit-identical to the saved engine's.
+// The artifact's spec must match the engine's: same filter columns,
+// same statistic (a custom statistic must be registered in this
+// process first), same target column. Mismatches are reported with
+// ErrBadArtifact before the engine's current surrogate is touched.
+// Artifacts in the legacy dimensionality-header format load too,
+// with provenance limited to what the engine itself knows.
+func (e *Engine) LoadSurrogate(r io.Reader) error {
+	return e.LoadSurrogateContext(context.Background(), r)
+}
+
+// LoadSurrogateContext is LoadSurrogate with cancellation, checked
+// before decoding and before the loaded model is swapped in.
+func (e *Engine) LoadSurrogateContext(ctx context.Context, r io.Reader) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(len(artifactMagic))
+	if err != nil && len(magic) < len(legacyMagic) {
+		return fmt.Errorf("%w: reading header: %v", ErrBadArtifact, err)
+	}
+	var sn *snapshot
+	switch {
+	case bytes.HasPrefix(magic, []byte(artifactMagic)):
+		sn, err = e.loadArtifact(br)
+	case bytes.HasPrefix(magic, []byte(legacyMagic)):
+		sn, err = e.loadLegacy(br)
+	default:
+		return fmt.Errorf("%w: unrecognized header %q", ErrBadArtifact, magic)
+	}
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	e.setSnapshot(sn)
+	return nil
+}
+
+// loadArtifact decodes a versioned engine artifact and validates it
+// against the engine's spec.
+func (e *Engine) loadArtifact(br *bufio.Reader) (*snapshot, error) {
+	var version int
+	if _, err := fmt.Fscanf(br, artifactMagic+" %d\n", &version); err != nil {
+		return nil, fmt.Errorf("%w: bad header: %v", ErrBadArtifact, err)
+	}
+	if version < 1 || version > artifactVersion {
+		return nil, fmt.Errorf("%w: format version %d (this build reads up to %d)",
+			ErrBadArtifact, version, artifactVersion)
+	}
+	var env artifactEnvelope
+	if err := gob.NewDecoder(br).Decode(&env); err != nil {
+		return nil, fmt.Errorf("%w: decode: %v", ErrBadArtifact, err)
+	}
+	if err := e.checkArtifactSpec(env); err != nil {
+		return nil, err
+	}
+	model, err := gbt.Load(bytes.NewReader(env.Model))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadArtifact, err)
+	}
+	surr, err := core.NewSurrogateFromModel(model, e.Dims())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadArtifact, err)
+	}
+	return &snapshot{surr: surr, info: env.Info}, nil
+}
+
+// checkArtifactSpec verifies the artifact was trained for the spec
+// this engine computes. The domain deliberately is not checked: data
+// grows between training and serving, and the artifact's training
+// domain stays inspectable via SurrogateInfo.
+func (e *Engine) checkArtifactSpec(env artifactEnvelope) error {
+	kind, err := stats.ParseKind(env.Info.Statistic)
+	if err != nil {
+		if env.CustomStatistic {
+			return fmt.Errorf("%w: custom statistic %q is not registered in this process; register it with CustomStatistic before loading",
+				ErrBadArtifact, env.Info.Statistic)
+		}
+		return fmt.Errorf("%w: unknown statistic %q", ErrBadArtifact, env.Info.Statistic)
+	}
+	if kind != e.spec.Stat {
+		return fmt.Errorf("%w: artifact trained for statistic %q, engine computes %q",
+			ErrBadArtifact, env.Info.Statistic, e.spec.Stat)
+	}
+	if got, want := env.Info.FilterColumns, e.filterNames(); !slices.Equal(got, want) {
+		if len(got) != len(want) {
+			// Also a dimensionality mismatch; satisfy both sentinels so
+			// errors.Is(err, ErrDimMismatch) keeps working as it did for
+			// the legacy format.
+			return fmt.Errorf("%w: %w: artifact trained over filter columns %v, engine uses %v",
+				ErrBadArtifact, ErrDimMismatch, got, want)
+		}
+		return fmt.Errorf("%w: artifact trained over filter columns %v, engine uses %v",
+			ErrBadArtifact, got, want)
+	}
+	if e.spec.Stat.NeedsTarget() {
+		want := e.data.Names()[e.spec.TargetCol]
+		if env.Info.TargetColumn != want {
+			return fmt.Errorf("%w: artifact aggregates target column %q, engine aggregates %q",
+				ErrBadArtifact, env.Info.TargetColumn, want)
+		}
+	}
+	if len(env.Info.DomainMin) != e.Dims() || len(env.Info.DomainMax) != e.Dims() {
+		return fmt.Errorf("%w: artifact domain has %d/%d bounds for %d filter columns",
+			ErrBadArtifact, len(env.Info.DomainMin), len(env.Info.DomainMax), e.Dims())
+	}
+	return nil
+}
+
+// loadLegacy reads the pre-artifact format (dimensionality header +
+// bare model). It carries no spec, so only the dimensionality can be
+// verified; the provenance is reconstructed from the engine's own
+// configuration with the training fields left zero.
+func (e *Engine) loadLegacy(br *bufio.Reader) (*snapshot, error) {
+	surr, err := core.LoadSurrogate(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadArtifact, err)
+	}
+	if surr.Dims() != e.Dims() {
+		return nil, fmt.Errorf("%w: surrogate of dimension %d for engine of dimension %d",
+			ErrDimMismatch, surr.Dims(), e.Dims())
+	}
+	// The legacy format predates training metadata: TrainedQueries
+	// stays 0 (unknown) while the hyper-parameter fields describe the
+	// loaded model itself.
+	info := e.surrogateInfoFor(surr, 0, false)
+	return &snapshot{surr: surr, info: info}, nil
+}

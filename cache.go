@@ -1,0 +1,190 @@
+package surf
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"surf/internal/core"
+)
+
+// defaultCacheSize is the result cache capacity an engine gets when
+// WithResultCache is not given. Results are small (a handful of
+// regions with 2d coordinates each), so the default is sized for "the
+// same dashboard asks the same few queries over and over" rather than
+// for memory pressure.
+const defaultCacheSize = 64
+
+// resultCache is a snapshot-keyed LRU over canonicalized queries.
+// Keys embed the identity of the surrogate snapshot the query ran
+// against, so a cached entry can never be served across a model swap;
+// the engine additionally clears the cache whenever the snapshot
+// pointer swaps, since entries under the old snapshot are dead weight
+// the moment it is replaced.
+//
+// Entries store deep copies and lookups return deep copies: callers
+// are free to mutate the Result they get back (batch and cached calls
+// behave identically), and a later mutation can never poison the
+// cache.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *cacheEntry
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+// newResultCache returns a cache holding up to capacity results;
+// capacity <= 0 disables caching entirely.
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		return &resultCache{}
+	}
+	return &resultCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// enabled reports whether the cache can ever hold an entry.
+func (c *resultCache) enabled() bool { return c != nil && c.cap > 0 }
+
+// get returns a copy of the cached result for key and marks it most
+// recently used.
+func (c *resultCache) get(key string) (*Result, bool) {
+	if !c.enabled() {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return copyResult(el.Value.(*cacheEntry).res), true
+}
+
+// put stores a copy of res under key, evicting the least recently
+// used entry when full.
+func (c *resultCache) put(key string, res *Result) {
+	if !c.enabled() || res == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = copyResult(res)
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, res: copyResult(res)})
+	if c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// clear drops every entry (the engine calls it on snapshot swaps).
+func (c *resultCache) clear() {
+	if !c.enabled() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	clear(c.items)
+}
+
+// len reports the number of live entries (for tests).
+func (c *resultCache) len() int {
+	if !c.enabled() {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// copyResult deep-copies a result so cache entries and caller-visible
+// results never share backing arrays.
+func copyResult(r *Result) *Result {
+	out := *r
+	out.Regions = make([]Region, len(r.Regions))
+	for i, reg := range r.Regions {
+		reg.Min = append([]float64(nil), reg.Min...)
+		reg.Max = append([]float64(nil), reg.Max...)
+		out.Regions[i] = reg
+	}
+	return &out
+}
+
+// cacheKey canonicalizes the query — every "zero means default" knob
+// is resolved to its effective value, via the same constants and
+// helpers the execution path defaults with (core.DefaultC and kin,
+// gsoParams), so a default change can never alias two queries to one
+// entry — and knobs that cannot change the result (Workers: batch
+// shards are bit-identical to sequential evaluation) are dropped.
+// The key binds to the snapshot's generation number; two queries get
+// the same key exactly when they are guaranteed to produce the same
+// Result against the same snapshot. Floats render with %g shortest
+// form, which round-trips float64 uniquely, so distinct values never
+// collide.
+func (q Query) cacheKey(dims int, snap *snapshot) string {
+	kde := 0
+	if q.UseKDE {
+		kde = q.KDESample
+		if kde == 0 {
+			kde = defaultKDESample
+		}
+	}
+	return fmt.Sprintf("find|%d|%g|%t|%g|%d|%t|%t|%d|%s|%g|%g|%t|%t",
+		snap.generation(), q.Threshold, q.Above, withDefault(q.C, core.DefaultC),
+		withIntDefault(q.MaxRegions, core.DefaultMaxRegions), q.UseTrueFunction,
+		q.UseKDE, kde, canonicalGSO(dims, q.Glowworms, q.Iterations, q.Seed),
+		withDefault(q.MinSideFrac, core.DefaultMinSideFrac),
+		withDefault(q.MaxSideFrac, core.DefaultMaxSideFrac),
+		q.SkipVerify, q.ClusterExtents)
+}
+
+// cacheKey is Query.cacheKey for top-k queries.
+func (q TopKQuery) cacheKey(dims int, snap *snapshot) string {
+	return fmt.Sprintf("topk|%d|%d|%t|%g|%t|%s|%g|%g|%t",
+		snap.generation(), q.K, q.Largest, withDefault(q.C, core.DefaultC), q.UseTrueFunction,
+		canonicalGSO(dims, q.Glowworms, q.Iterations, q.Seed),
+		withDefault(q.MinSideFrac, core.DefaultMinSideFrac),
+		withDefault(q.MaxSideFrac, core.DefaultMaxSideFrac),
+		q.SkipVerify)
+}
+
+// canonicalGSO resolves the optimizer knobs through gsoParams itself
+// — the single defaulting source the execution path uses. The seed is
+// kept raw rather than resolved to the optimizer default:
+// KDE-weighted queries derive their sampling seed as Seed+17, so Seed
+// 0 and the optimizer-default seed are not interchangeable for every
+// query shape, and a missed cache hit is harmless where an aliased
+// one is not.
+func canonicalGSO(dims, glowworms, iterations int, seed uint64) string {
+	g := gsoParams(dims, glowworms, iterations, 0, 0)
+	return fmt.Sprintf("%d/%d/%d", g.Glowworms, g.MaxIters, seed)
+}
+
+func withDefault(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+func withIntDefault(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}

@@ -1,0 +1,305 @@
+package surf
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// cachedEngine builds an engine whose true function counts its calls
+// (via the countingBackend from the WithBackend tests), so cache hits
+// are observable: a hit issues no evaluations at all. Backend engines
+// default to no cache, so caching is opted into explicitly; caller
+// options append afterwards and may override it.
+func cachedEngine(t *testing.T, opts ...Option) (*Engine, *countingBackend) {
+	t.Helper()
+	d := crimeGrid(1500, 21)
+	plain, err := Open(d, Config{FilterColumns: []string{"x", "y"}, Statistic: Count})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := &countingBackend{inner: plain}
+	eng, err := Open(d, Config{FilterColumns: []string{"x", "y"}, Statistic: Count},
+		append([]Option{WithBackend(cb), WithResultCache(defaultCacheSize)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, cb
+}
+
+// TestResultCacheDefaults: plain engines cache by default; engines
+// with a custom Backend (possibly fronting live data) do not, unless
+// they opt in.
+func TestResultCacheDefaults(t *testing.T) {
+	d := crimeGrid(500, 22)
+	plain, err := Open(d, Config{FilterColumns: []string{"x", "y"}, Statistic: Count})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.cache.enabled() {
+		t.Error("plain engine's cache disabled by default")
+	}
+	backed, err := Open(d, Config{FilterColumns: []string{"x", "y"}, Statistic: Count},
+		WithBackend(&countingBackend{inner: plain}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backed.cache.enabled() {
+		t.Error("backend engine's cache enabled by default (may front live data)")
+	}
+	optedIn, err := Open(d, Config{FilterColumns: []string{"x", "y"}, Statistic: Count},
+		WithBackend(&countingBackend{inner: plain}), WithResultCache(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !optedIn.cache.enabled() {
+		t.Error("explicit WithResultCache ignored on backend engine")
+	}
+}
+
+// cacheQuery is a small fixed true-function query used throughout.
+var cacheQuery = Query{
+	Threshold: 30, Above: true, Seed: 3,
+	Iterations: 10, Glowworms: 20, MaxRegions: 4,
+	UseTrueFunction: true,
+}
+
+// sameRegions asserts two results carry identical regions.
+func sameRegions(t *testing.T, a, b *Result) {
+	t.Helper()
+	if len(a.Regions) != len(b.Regions) {
+		t.Fatalf("%d regions vs %d", len(a.Regions), len(b.Regions))
+	}
+	for i := range a.Regions {
+		ra, rb := a.Regions[i], b.Regions[i]
+		for j := range ra.Min {
+			if ra.Min[j] != rb.Min[j] || ra.Max[j] != rb.Max[j] {
+				t.Fatalf("region %d bounds differ", i)
+			}
+		}
+		if ra.Estimate != rb.Estimate || ra.TrueValue != rb.TrueValue {
+			t.Fatalf("region %d values differ", i)
+		}
+	}
+}
+
+// TestResultCacheHit proves a repeated identical query is served
+// without re-running the swarm, and that the cached result is equal
+// to the computed one.
+func TestResultCacheHit(t *testing.T) {
+	eng, cb := cachedEngine(t)
+	r1, err := eng.Find(cacheQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := cb.calls.Load()
+	if ran == 0 {
+		t.Fatal("first run issued no evaluations")
+	}
+	r2, err := eng.Find(cacheQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cb.calls.Load(); got != ran {
+		t.Fatalf("second run issued %d extra evaluations, want 0 (cache hit)", got-ran)
+	}
+	sameRegions(t, r1, r2)
+	if r1.ComplianceRate != r2.ComplianceRate || r1.ValidParticleFraction != r2.ValidParticleFraction {
+		t.Error("run-level figures differ between cached and computed result")
+	}
+}
+
+// TestResultCacheCanonicalization: queries that differ only in
+// zero-vs-explicit default knobs, or in result-neutral knobs
+// (Workers), share one cache entry.
+func TestResultCacheCanonicalization(t *testing.T) {
+	eng, cb := cachedEngine(t)
+	q := cacheQuery
+	if _, err := eng.Find(q); err != nil {
+		t.Fatal(err)
+	}
+	ran := cb.calls.Load()
+
+	explicit := q
+	explicit.C = 4           // the default
+	explicit.KDESample = 500 // ignored without UseKDE
+	explicit.Workers = 2     // results are bit-identical regardless
+	explicit.MinSideFrac = 0.01
+	explicit.MaxSideFrac = 0.15
+	if _, err := eng.Find(explicit); err != nil {
+		t.Fatal(err)
+	}
+	if got := cb.calls.Load(); got != ran {
+		t.Fatalf("canonically identical query re-ran the swarm (%d extra evaluations)", got-ran)
+	}
+
+	different := q
+	different.Threshold = 31
+	if _, err := eng.Find(different); err != nil {
+		t.Fatal(err)
+	}
+	if got := cb.calls.Load(); got == ran {
+		t.Fatal("materially different query was served from cache")
+	}
+}
+
+// TestResultCacheInvalidatedBySwap: training (or loading) a surrogate
+// clears the cache, so no entry outlives the snapshot it was computed
+// against.
+func TestResultCacheInvalidatedBySwap(t *testing.T) {
+	eng, cb := cachedEngine(t)
+	if _, err := eng.Find(cacheQuery); err != nil {
+		t.Fatal(err)
+	}
+	if eng.cache.len() == 0 {
+		t.Fatal("no cache entry after Find")
+	}
+	wl, err := eng.GenerateWorkload(200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.TrainSurrogate(wl, TrainOptions{Trees: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if eng.cache.len() != 0 {
+		t.Fatal("cache survived a surrogate swap")
+	}
+	ran := cb.calls.Load()
+	if _, err := eng.Find(cacheQuery); err != nil {
+		t.Fatal(err)
+	}
+	if cb.calls.Load() == ran {
+		t.Fatal("query after swap was served from the invalidated cache")
+	}
+}
+
+// TestResultCacheCopies: mutating a returned result must not poison
+// the cache.
+func TestResultCacheCopies(t *testing.T) {
+	eng, _ := cachedEngine(t)
+	r1, err := eng.Find(cacheQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Regions) == 0 {
+		t.Skip("query mined no regions; nothing to mutate")
+	}
+	orig := r1.Regions[0].Min[0]
+	r1.Regions[0].Min[0] = -999
+	r1.Regions[0].Estimate = -999
+	r2, err := eng.Find(cacheQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Regions[0].Min[0] != orig || r2.Regions[0].Estimate == -999 {
+		t.Error("caller mutation leaked into the cache")
+	}
+}
+
+// TestResultCacheDisabled: WithResultCache(0) turns caching off.
+func TestResultCacheDisabled(t *testing.T) {
+	eng, cb := cachedEngine(t, WithResultCache(0))
+	if _, err := eng.Find(cacheQuery); err != nil {
+		t.Fatal(err)
+	}
+	ran := cb.calls.Load()
+	if _, err := eng.Find(cacheQuery); err != nil {
+		t.Fatal(err)
+	}
+	if cb.calls.Load() == ran {
+		t.Fatal("disabled cache still served a repeat query")
+	}
+}
+
+// TestResultCacheObserverBypass: an engine-wide observer expects the
+// event feed for every query, so caching is bypassed.
+func TestResultCacheObserverBypass(t *testing.T) {
+	var events atomic.Int64
+	eng, _ := cachedEngine(t, WithObserver(func(Event) { events.Add(1) }))
+	if _, err := eng.Find(cacheQuery); err != nil {
+		t.Fatal(err)
+	}
+	first := events.Load()
+	if first == 0 {
+		t.Fatal("observer saw no events")
+	}
+	if _, err := eng.Find(cacheQuery); err != nil {
+		t.Fatal(err)
+	}
+	if events.Load() == first {
+		t.Fatal("repeat query skipped the observer (served from cache)")
+	}
+}
+
+// TestResultCacheLRUEviction: the cache respects its capacity,
+// evicting the least recently used entry.
+func TestResultCacheLRUEviction(t *testing.T) {
+	eng, cb := cachedEngine(t, WithResultCache(2))
+	queries := []Query{cacheQuery, cacheQuery, cacheQuery}
+	queries[1].Threshold = 31
+	queries[2].Threshold = 32
+	for _, q := range queries {
+		if _, err := eng.Find(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := eng.cache.len(); got != 2 {
+		t.Fatalf("cache holds %d entries, capacity 2", got)
+	}
+	// queries[0] was evicted; re-running it must actually run.
+	ran := cb.calls.Load()
+	if _, err := eng.Find(queries[0]); err != nil {
+		t.Fatal(err)
+	}
+	if cb.calls.Load() == ran {
+		t.Fatal("evicted query was served from cache")
+	}
+	// queries[2] is still resident.
+	ran = cb.calls.Load()
+	if _, err := eng.Find(queries[2]); err != nil {
+		t.Fatal(err)
+	}
+	if cb.calls.Load() != ran {
+		t.Fatal("resident query re-ran")
+	}
+}
+
+// TestResultCacheTopK: FindTopK shares the cache machinery, keyed
+// apart from threshold queries.
+func TestResultCacheTopK(t *testing.T) {
+	eng, cb := cachedEngine(t)
+	q := TopKQuery{
+		K: 3, Largest: true, Seed: 3,
+		Iterations: 10, Glowworms: 20,
+		UseTrueFunction: true,
+	}
+	r1, err := eng.FindTopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := cb.calls.Load()
+	r2, err := eng.FindTopK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.calls.Load() != ran {
+		t.Fatal("repeat top-k query re-ran")
+	}
+	sameRegions(t, r1, r2)
+}
+
+// TestResultCacheSessionSharing: sessions pin the same snapshot, so
+// their queries hit the same cache entries as engine-level calls.
+func TestResultCacheSessionSharing(t *testing.T) {
+	eng, cb := cachedEngine(t)
+	if _, err := eng.Find(cacheQuery); err != nil {
+		t.Fatal(err)
+	}
+	ran := cb.calls.Load()
+	sess := eng.Session()
+	if _, err := sess.Find(cacheQuery); err != nil {
+		t.Fatal(err)
+	}
+	if cb.calls.Load() != ran {
+		t.Fatal("session repeat of an engine query re-ran the swarm")
+	}
+}

@@ -207,10 +207,14 @@ func run(ctx context.Context, o findOpts) error {
 		if err != nil {
 			return err
 		}
-		err = eng.LoadSurrogate(mf)
+		err = eng.LoadSurrogateContext(ctx, mf)
 		mf.Close()
 		if err != nil {
 			return err
+		}
+		if info, ok := eng.SurrogateInfo(); ok && info.TrainedQueries > 0 {
+			fmt.Printf("loaded surrogate: %s over %v, %d trees, trained on %d queries\n",
+				info.Statistic, info.FilterColumns, info.Trees, info.TrainedQueries)
 		}
 	}
 

@@ -1,0 +1,145 @@
+// Command surf-serve exposes a dataset (and optionally a trained
+// surrogate) over the HTTP query API: POST /v1/find, POST /v1/topk,
+// POST /v1/findmany, GET /v1/stream (Server-Sent Events) and GET
+// /healthz — the paper's deployment story with the surrogate resident
+// in memory and remote analysts querying it.
+//
+// Usage:
+//
+//	surf-serve -data data.csv -filters x,y -stat count \
+//	           -model model.surf -addr :8080
+//	surf-serve -data data.csv -filters x,y -stat count -train 5000
+//
+// With -model, the engine loads a surf-train artifact (the artifact's
+// statistic and filter columns must match the flags). With -train N,
+// it generates an N-query workload and trains a surrogate at startup.
+// With neither, only use_true_function queries can be served; the
+// rest answer 409 until a model arrives.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining
+// in-flight queries and streams.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	surf "surf"
+	"surf/internal/cli"
+	"surf/server"
+)
+
+func main() {
+	var o serveOpts
+	flag.StringVar(&o.dataPath, "data", "", "dataset CSV (required)")
+	flag.StringVar(&o.filters, "filters", "", "comma-separated filter columns (required)")
+	flag.StringVar(&o.stat, "stat", "count", "statistic: count, sum, mean, min, max, median, variance, stddev, ratio")
+	flag.StringVar(&o.target, "target", "", "target column (for statistics other than count)")
+	flag.StringVar(&o.modelPath, "model", "", "surrogate artifact from surf-train")
+	flag.IntVar(&o.train, "train", 0, "train a surrogate at startup from this many generated queries (0 = don't)")
+	flag.Uint64Var(&o.seed, "seed", 1, "seed for -train workload generation")
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&o.cache, "cache", -1, "result cache entries (-1 = engine default, 0 = disable)")
+	flag.Parse()
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	if err := run(ctx, o, nil); err != nil {
+		cli.Exit("surf-serve", err)
+	}
+}
+
+// serveOpts carries the parsed command line.
+type serveOpts struct {
+	dataPath, filters, stat, target, modelPath string
+	train                                      int
+	seed                                       uint64
+	addr                                       string
+	cache                                      int
+}
+
+// run builds the engine and serves until ctx is cancelled. onReady,
+// when non-nil, receives the bound address once the listener is up
+// (tests use it to learn the port behind ":0").
+func run(ctx context.Context, o serveOpts, onReady func(addr string)) error {
+	if o.dataPath == "" || o.filters == "" {
+		return fmt.Errorf("-data and -filters are required")
+	}
+	if o.modelPath != "" && o.train > 0 {
+		return fmt.Errorf("-model and -train are mutually exclusive")
+	}
+	statistic, err := surf.ParseStatistic(o.stat)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(o.dataPath)
+	if err != nil {
+		return err
+	}
+	ds, err := surf.ReadCSVDataset(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	var opts []surf.Option
+	if o.cache >= 0 {
+		opts = append(opts, surf.WithResultCache(o.cache))
+	}
+	eng, err := surf.Open(ds, surf.Config{
+		FilterColumns: strings.Split(o.filters, ","),
+		Statistic:     statistic,
+		TargetColumn:  o.target,
+		UseGridIndex:  true,
+	}, opts...)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case o.modelPath != "":
+		mf, err := os.Open(o.modelPath)
+		if err != nil {
+			return err
+		}
+		err = eng.LoadSurrogateContext(ctx, mf)
+		mf.Close()
+		if err != nil {
+			return err
+		}
+		if info, ok := eng.SurrogateInfo(); ok {
+			fmt.Printf("loaded surrogate: %s over %v (%d trees)\n",
+				info.Statistic, info.FilterColumns, info.Trees)
+		}
+	case o.train > 0:
+		start := time.Now()
+		wl, err := eng.GenerateWorkloadContext(ctx, o.train, o.seed)
+		if err != nil {
+			return err
+		}
+		if err := eng.TrainSurrogateContext(ctx, wl, surf.TrainOptions{Seed: o.seed}); err != nil {
+			return err
+		}
+		fmt.Printf("trained surrogate on %d generated queries in %s\n",
+			wl.Len(), time.Since(start).Round(time.Millisecond))
+	default:
+		fmt.Println("serving without a surrogate: only use_true_function queries will succeed")
+	}
+
+	l, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("listening on %s (%d rows, %d dims)\n", l.Addr(), ds.Len(), eng.Dims())
+	if onReady != nil {
+		onReady(l.Addr().String())
+	}
+	err = server.New(eng).Serve(ctx, l)
+	if err == nil {
+		fmt.Println("shut down cleanly")
+	}
+	return err
+}

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	surf "surf"
+)
+
+// writeDataset creates a small CSV dataset for CLI tests.
+func writeDataset(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "data.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cols := make([][]float64, 2)
+	for j := range cols {
+		cols[j] = make([]float64, 2000)
+		for i := range cols[j] {
+			cols[j][i] = float64((i*31+j*17)%1000) / 1000
+		}
+	}
+	ds, err := surf.NewDataset([]string{"x", "y"}, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunValidation(t *testing.T) {
+	ctx := context.Background()
+	if err := run(ctx, serveOpts{}, nil); err == nil {
+		t.Error("expected error without -data/-filters")
+	}
+	if err := run(ctx, serveOpts{dataPath: "x.csv", filters: "x", stat: "nope"}, nil); err == nil {
+		t.Error("expected error for unknown statistic")
+	}
+	if err := run(ctx, serveOpts{dataPath: "x.csv", filters: "x", stat: "count", modelPath: "m", train: 10}, nil); err == nil {
+		t.Error("expected error for -model with -train")
+	}
+	if err := run(ctx, serveOpts{dataPath: filepath.Join(t.TempDir(), "missing.csv"), filters: "x", stat: "count"}, nil); err == nil {
+		t.Error("expected error for missing dataset")
+	}
+}
+
+// TestServeEndToEnd boots the command against a real dataset with a
+// startup-trained surrogate, exercises the HTTP surface, then shuts
+// it down via context cancellation.
+func TestServeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	data := writeDataset(t, dir)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, serveOpts{
+			dataPath: data, filters: "x,y", stat: "count",
+			train: 200, seed: 1, addr: "127.0.0.1:0", cache: -1,
+		}, func(addr string) { ready <- addr })
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status    string `json:"status"`
+		Surrogate bool   `json:"surrogate"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || !health.Surrogate {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	q, _ := json.Marshal(surf.Query{Threshold: 10, Above: true, Seed: 2, Glowworms: 20, Iterations: 10})
+	resp, err = http.Post(base+"/v1/find", "application/json", bytes.NewReader(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res surf.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("find status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after cancellation", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return after cancellation")
+	}
+}
+
+// TestServeWithArtifact trains and saves an artifact the way
+// surf-train does, then boots surf-serve with -model.
+func TestServeWithArtifact(t *testing.T) {
+	dir := t.TempDir()
+	data := writeDataset(t, dir)
+
+	// Train and save an artifact.
+	f, err := os.Open(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := surf.ReadCSVDataset(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := surf.Open(ds, surf.Config{FilterColumns: []string{"x", "y"}, Statistic: surf.Count})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := eng.GenerateWorkload(200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.TrainSurrogate(wl, surf.TrainOptions{Trees: 10}); err != nil {
+		t.Fatal(err)
+	}
+	model := filepath.Join(dir, "model.surf")
+	mf, err := os.Create(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SaveSurrogate(mf); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, serveOpts{
+			dataPath: data, filters: "x,y", stat: "count",
+			modelPath: model, addr: "127.0.0.1:0", cache: -1,
+		}, func(addr string) { ready <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Surrogate bool   `json:"surrogate"`
+		Statistic string `json:"statistic"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !health.Surrogate || health.Statistic != "count" {
+		t.Fatalf("healthz = %+v", health)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run returned %v", err)
+	}
+
+	// A spec mismatch at startup must fail fast.
+	err = run(context.Background(), serveOpts{
+		dataPath: data, filters: "x", stat: "count",
+		modelPath: model, addr: "127.0.0.1:0",
+	}, nil)
+	if err == nil {
+		t.Fatal("expected artifact/spec mismatch error")
+	}
+}

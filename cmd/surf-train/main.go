@@ -106,13 +106,18 @@ func run(ctx context.Context, dataPath, filters, stat, target string, queries in
 	if err != nil {
 		return err
 	}
-	if err := eng.SaveSurrogate(of); err != nil {
+	if err := eng.SaveSurrogateContext(ctx, of); err != nil {
 		of.Close()
 		return err
 	}
 	if err := of.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("saved model to %s\n", out)
+	if info, ok := eng.SurrogateInfo(); ok {
+		fmt.Printf("saved artifact to %s: %s over %v, %d trees, trained on %d queries\n",
+			out, info.Statistic, info.FilterColumns, info.Trees, info.TrainedQueries)
+	} else {
+		fmt.Printf("saved model to %s\n", out)
+	}
 	return nil
 }

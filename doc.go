@@ -95,4 +95,43 @@
 //		return hi - lo
 //	})
 //	eng, _ := surf.Open(ds, surf.Config{FilterColumns: []string{"x", "y"}, Statistic: spread})
+//
+// # Model artifacts
+//
+// The trained surrogate is the durable asset of a SuRF deployment
+// ("train once, reuse", paper Section V-D). SaveSurrogate writes a
+// versioned artifact carrying the ensemble together with the spec it
+// was trained for (statistic, filter columns, target), the training
+// domain and the training metadata SurrogateInfo reports.
+// LoadSurrogate restores it with bit-identical predictions — the
+// compiled inference snapshot is rebuilt on load — and rejects, with
+// ErrBadArtifact, an artifact whose spec does not match the engine:
+// different statistic, different filter columns, different target, a
+// corrupt payload, or a format version from a newer build. Custom
+// statistics persist by registered name and must be registered (via
+// CustomStatistic) in the loading process before the artifact loads.
+// Artifacts in the legacy bare-model format are still accepted.
+//
+//	var buf bytes.Buffer
+//	_ = eng.SaveSurrogate(&buf)                 // versioned artifact
+//	eng2, _ := surf.Open(ds, sameConfig)
+//	_ = eng2.LoadSurrogate(&buf)                // bit-identical predictions
+//	info, _ := eng2.SurrogateInfo()             // provenance survives
+//
+// # Serving and caching
+//
+// Package surf/server exposes an Engine over HTTP: POST /v1/find,
+// /v1/topk and /v1/findmany, GET /v1/stream (the event feed as
+// Server-Sent Events, encoded with MarshalEvent) and GET /healthz,
+// with the sentinel errors mapped to statuses (ErrBadQuery → 400,
+// ErrNoSurrogate → 409, ErrBadArtifact → 422). Query, TopKQuery,
+// Result, Region and the events all have stable snake_case JSON
+// forms; non-finite floats encode as the strings "NaN", "+Inf" and
+// "-Inf". The surf-serve command is its CLI front-end.
+//
+// Engines also keep a small LRU result cache over canonicalized
+// queries (WithResultCache to resize or disable): a repeated
+// Find/FindTopK against the same surrogate snapshot is answered
+// without re-running the swarm, and the cache clears on every
+// train/load so no stale model's results are served.
 package surf

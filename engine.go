@@ -117,7 +117,52 @@ type Engine struct {
 	evaluator dataset.Evaluator
 	domain    geom.Rect
 	observer  func(Event)
-	surrogate atomic.Pointer[core.Surrogate]
+	surrogate atomic.Pointer[snapshot]
+	snapGen   atomic.Uint64
+	cache     *resultCache
+}
+
+// snapshot pairs a surrogate with the metadata describing how it was
+// produced and a generation number unique within its engine. The
+// engine swaps whole snapshots atomically, so a query (or Session)
+// pinning one sees a model and its provenance that can never
+// disagree; result-cache keys embed the generation, which — unlike a
+// pointer — can never be reused after the snapshot is garbage
+// collected.
+type snapshot struct {
+	surr *core.Surrogate
+	info SurrogateInfo
+	gen  uint64
+}
+
+// surrogate returns the snapshot's model, nil-safe so call sites can
+// use the engine's current snapshot without an existence check.
+func (sn *snapshot) surrogate() *core.Surrogate {
+	if sn == nil {
+		return nil
+	}
+	return sn.surr
+}
+
+// generation returns the snapshot's generation number; the
+// no-surrogate state is generation 0 (the counter starts at 1).
+func (sn *snapshot) generation() uint64 {
+	if sn == nil {
+		return 0
+	}
+	return sn.gen
+}
+
+// setSnapshot stamps sn with a fresh generation and atomically swaps
+// it in. The cache is cleared first — entries under older generations
+// could never be served anyway (keys embed the generation), clearing
+// just stops them crowding out live entries — so no moment exists
+// where the new snapshot is visible alongside results that predate
+// it.
+func (e *Engine) setSnapshot(sn *snapshot) {
+	sn.gen = e.snapGen.Add(1)
+	e.cache.clear()
+	e.surrogate.Store(sn)
 }
 
 // Open validates the config against the dataset and returns an engine.
@@ -190,12 +235,26 @@ func Open(ds *Dataset, cfg Config, opts ...Option) (*Engine, error) {
 		domain = geom.Rect{Min: eo.domainMin, Max: eo.domainMax}
 	}
 
+	// The result cache replays evaluator-derived values (TrueValue,
+	// ComplianceRate, UseTrueFunction results), which is only sound
+	// when the evaluator reads immutable data. The built-in evaluators
+	// scan the engine's own immutable dataset; a WithBackend evaluator
+	// may front a live store, so caching there is strictly opt-in via
+	// WithResultCache.
+	cacheSize := defaultCacheSize
+	if eo.backend != nil {
+		cacheSize = 0
+	}
+	if eo.cacheSet {
+		cacheSize = eo.cacheSize
+	}
 	return &Engine{
 		data:      ds.inner,
 		spec:      spec,
 		evaluator: ev,
 		domain:    domain,
 		observer:  eo.observer,
+		cache:     newResultCache(cacheSize),
 	}, nil
 }
 
@@ -252,41 +311,91 @@ func (e *Engine) TrainSurrogateContext(ctx context.Context, w Workload, opts ...
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	e.surrogate.Store(s)
+	info := e.surrogateInfoFor(s, w.Len(), o.HyperTune)
+	e.setSnapshot(&snapshot{surr: s, info: info})
 	return nil
+}
+
+// surrogateInfoFor assembles the provenance record for a freshly
+// trained (or legacy-loaded) surrogate from the engine's spec and the
+// model's effective hyper-parameters.
+func (e *Engine) surrogateInfoFor(s *core.Surrogate, queries int, hyperTuned bool) SurrogateInfo {
+	p := s.Model().Params()
+	info := SurrogateInfo{
+		Statistic:      e.spec.Stat.String(),
+		FilterColumns:  e.filterNames(),
+		DomainMin:      append([]float64(nil), e.domain.Min...),
+		DomainMax:      append([]float64(nil), e.domain.Max...),
+		TrainedQueries: queries,
+		Trees:          s.Model().NumTrees(),
+		MaxDepth:       p.MaxDepth,
+		LearningRate:   p.LearningRate,
+		Lambda:         p.Lambda,
+		HyperTuned:     hyperTuned,
+	}
+	if e.spec.Stat.NeedsTarget() {
+		info.TargetColumn = e.data.Names()[e.spec.TargetCol]
+	}
+	return info
+}
+
+// filterNames returns the engine's filter columns by name, in region-
+// dimension order.
+func (e *Engine) filterNames() []string {
+	names := e.data.Names()
+	out := make([]string, len(e.spec.FilterCols))
+	for j, c := range e.spec.FilterCols {
+		out[j] = names[c]
+	}
+	return out
 }
 
 // HasSurrogate reports whether a surrogate has been trained or loaded.
 func (e *Engine) HasSurrogate() bool { return e.surrogate.Load() != nil }
 
-// SaveSurrogate persists the trained surrogate.
-func (e *Engine) SaveSurrogate(w io.Writer) error {
-	s := e.surrogate.Load()
-	if s == nil {
-		return ErrNoSurrogate
-	}
-	return s.Save(w)
+// SurrogateInfo describes a surrogate snapshot: the spec it was
+// trained for (statistic, filter columns, target), the domain it was
+// trained over, and the training it received. It rides along in the
+// engine-level artifact written by SaveSurrogate, so a model loaded
+// elsewhere still knows what it approximates.
+type SurrogateInfo struct {
+	// Statistic is the statistic name as ParseStatistic accepts it
+	// (the registered name for custom statistics).
+	Statistic string
+	// FilterColumns are the filter column names in region-dimension
+	// order; TargetColumn is empty when the statistic needs none.
+	FilterColumns []string
+	TargetColumn  string
+	// DomainMin and DomainMax bound the region domain the surrogate
+	// was trained over (the workload's sampling space).
+	DomainMin, DomainMax []float64
+	// TrainedQueries is the size of the training workload (0 when
+	// unknown, e.g. a legacy artifact).
+	TrainedQueries int
+	// Trees, MaxDepth, LearningRate and Lambda are the ensemble's
+	// effective hyper-parameters; HyperTuned reports whether they came
+	// out of the paper's GridSearchCV.
+	Trees        int
+	MaxDepth     int
+	LearningRate float64
+	Lambda       float64
+	HyperTuned   bool
 }
 
-// LoadSurrogate restores a surrogate saved with SaveSurrogate and
-// atomically swaps it in.
-func (e *Engine) LoadSurrogate(r io.Reader) error {
-	s, err := core.LoadSurrogate(r)
-	if err != nil {
-		return err
+// SurrogateInfo returns the provenance of the engine's current
+// surrogate snapshot; ok is false when none is trained or loaded.
+func (e *Engine) SurrogateInfo() (info SurrogateInfo, ok bool) {
+	sn := e.surrogate.Load()
+	if sn == nil {
+		return SurrogateInfo{}, false
 	}
-	if s.Dims() != e.Dims() {
-		return fmt.Errorf("%w: surrogate of dimension %d for engine of dimension %d",
-			ErrDimMismatch, s.Dims(), e.Dims())
-	}
-	e.surrogate.Store(s)
-	return nil
+	return sn.info, true
 }
 
 // PredictStatistic returns the surrogate's estimate for a region
 // without touching the data.
 func (e *Engine) PredictStatistic(center, halfSides []float64) (float64, error) {
-	s := e.surrogate.Load()
+	s := e.surrogate.Load().surrogate()
 	if s == nil {
 		return 0, ErrNoSurrogate
 	}
@@ -302,7 +411,7 @@ func (e *Engine) PredictStatistic(center, halfSides []float64) (float64, error) 
 // against one compiled-model snapshot even if a retrain swaps the
 // surrogate mid-call.
 func (e *Engine) PredictStatisticBatch(rows [][]float64, out []float64) error {
-	s := e.surrogate.Load()
+	s := e.surrogate.Load().surrogate()
 	if s == nil {
 		return ErrNoSurrogate
 	}
@@ -334,34 +443,44 @@ func predictBatch(s *core.Surrogate, dims int, rows [][]float64, out []float64) 
 // per request.
 type Session struct {
 	eng  *Engine
-	surr *core.Surrogate
+	snap *snapshot
 }
 
 // Session snapshots the engine's current surrogate (which may be nil
 // when none is trained yet).
 func (e *Engine) Session() *Session {
-	return &Session{eng: e, surr: e.surrogate.Load()}
+	return &Session{eng: e, snap: e.surrogate.Load()}
 }
 
 // HasSurrogate reports whether the session's snapshot holds a model.
-func (s *Session) HasSurrogate() bool { return s.surr != nil }
+func (s *Session) HasSurrogate() bool { return s.snap != nil }
+
+// SurrogateInfo returns the provenance of the session's pinned
+// snapshot; ok is false when the session was created with no
+// surrogate.
+func (s *Session) SurrogateInfo() (info SurrogateInfo, ok bool) {
+	if s.snap == nil {
+		return SurrogateInfo{}, false
+	}
+	return s.snap.info, true
+}
 
 // PredictStatistic returns the snapshot surrogate's estimate for a
 // region.
 func (s *Session) PredictStatistic(center, halfSides []float64) (float64, error) {
-	if s.surr == nil {
+	if s.snap == nil {
 		return 0, ErrNoSurrogate
 	}
-	return s.surr.Predict(center, halfSides), nil
+	return s.snap.surr.Predict(center, halfSides), nil
 }
 
 // PredictStatisticBatch is Engine.PredictStatisticBatch against the
 // session's pinned surrogate snapshot.
 func (s *Session) PredictStatisticBatch(rows [][]float64, out []float64) error {
-	if s.surr == nil {
+	if s.snap == nil {
 		return ErrNoSurrogate
 	}
-	return predictBatch(s.surr, s.eng.Dims(), rows, out)
+	return predictBatch(s.snap.surr, s.eng.Dims(), rows, out)
 }
 
 // Find mines interesting regions using the session's surrogate
@@ -372,7 +491,7 @@ func (s *Session) Find(q Query) (*Result, error) {
 
 // FindContext is Find with cancellation (see Engine.FindContext).
 func (s *Session) FindContext(ctx context.Context, q Query) (*Result, error) {
-	return findContext(ctx, s.eng, s.surr, q)
+	return findContext(ctx, s.eng, s.snap, q)
 }
 
 // FindTopK mines the k most extreme regions using the session's
@@ -384,5 +503,5 @@ func (s *Session) FindTopK(q TopKQuery) (*Result, error) {
 // FindTopKContext is FindTopK with cancellation (see
 // Engine.FindTopKContext).
 func (s *Session) FindTopKContext(ctx context.Context, q TopKQuery) (*Result, error) {
-	return findTopKContext(ctx, s.eng, s.surr, q)
+	return findTopKContext(ctx, s.eng, s.snap, q)
 }

@@ -29,4 +29,11 @@ var (
 
 	// ErrBadQuery reports an invalid Query or TopKQuery.
 	ErrBadQuery = errors.New("surf: invalid query")
+
+	// ErrBadArtifact reports a surrogate artifact that cannot be
+	// loaded: corrupt or truncated bytes, an unsupported format
+	// version, a spec that does not match the engine's (different
+	// filter columns, statistic or target), or a custom statistic
+	// that is not registered in this process.
+	ErrBadArtifact = errors.New("surf: invalid surrogate artifact")
 )

@@ -5,6 +5,12 @@ package surf
 // (an incumbent region delivered the moment its swarm cluster
 // stabilizes) and EventDone (the final ranked result). The set is
 // closed: consumers may type-switch exhaustively over the three.
+//
+// Events have a JSON envelope form — a "type" discriminator
+// ("iteration", "region", "done") plus the event's payload — written
+// by MarshalEvent and read by UnmarshalEvent; it is the payload the
+// HTTP serving layer's /v1/stream endpoint carries as Server-Sent
+// Events.
 type Event interface{ isEvent() }
 
 // EventIteration carries one swarm iteration's convergence telemetry

@@ -94,10 +94,26 @@ type FinderConfig struct {
 	StableChecks int
 }
 
+// Default query-knob values, exported so the public layer's query
+// canonicalization (result-cache keys) is defined by the same
+// constants as the defaulting applied here — a default change cannot
+// silently alias two queries to one cache entry.
+const (
+	// DefaultC is the region-size regularizer default.
+	DefaultC = 4
+	// DefaultMinSideFrac / DefaultMaxSideFrac bound region half-sides
+	// as fractions of the domain extent (the surrogate training
+	// range).
+	DefaultMinSideFrac = 0.01
+	DefaultMaxSideFrac = 0.15
+	// DefaultMaxRegions caps reported regions.
+	DefaultMaxRegions = 16
+)
+
 // withDefaults fills unset fields.
 func (c FinderConfig) withDefaults(dims int) FinderConfig {
 	if c.C == 0 {
-		c.C = 4
+		c.C = DefaultC
 	}
 	if c.GSO.Glowworms == 0 {
 		base := gso.DefaultParams()
@@ -111,16 +127,16 @@ func (c FinderConfig) withDefaults(dims int) FinderConfig {
 		c.GSO = base
 	}
 	if c.MinSideFrac == 0 {
-		c.MinSideFrac = 0.01
+		c.MinSideFrac = DefaultMinSideFrac
 	}
 	if c.MaxSideFrac == 0 {
-		c.MaxSideFrac = 0.15
+		c.MaxSideFrac = DefaultMaxSideFrac
 	}
 	if c.DedupeIoU == 0 {
 		c.DedupeIoU = 0.3
 	}
 	if c.MaxRegions == 0 {
-		c.MaxRegions = 16
+		c.MaxRegions = DefaultMaxRegions
 	}
 	if c.EmitEvery == 0 {
 		c.EmitEvery = 10

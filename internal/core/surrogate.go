@@ -34,6 +34,20 @@ func newSurrogate(model *gbt.Model, dims int) *Surrogate {
 	return &Surrogate{model: model, compiled: model.Compile(), dims: dims}
 }
 
+// NewSurrogateFromModel wraps an already-deserialized ensemble as a
+// d-dimensional surrogate, rebuilding the compiled inference snapshot.
+// It is the construction path for engine-level artifacts, which carry
+// the model bytes inside a larger envelope.
+func NewSurrogateFromModel(model *gbt.Model, dims int) (*Surrogate, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("core: surrogate dims %d", dims)
+	}
+	if model.NumFeatures() != 2*dims {
+		return nil, fmt.Errorf("core: model has %d features, want 2·%d", model.NumFeatures(), dims)
+	}
+	return newSurrogate(model, dims), nil
+}
+
 // ErrEmptyLog reports training on an empty query log.
 var ErrEmptyLog = errors.New("core: empty query log")
 

@@ -119,6 +119,22 @@ func NewDiskScan(path string, spec Spec, chunkRows int) (*DiskScan, error) {
 		names[c] = string(name)
 		offset += 1 + int64(ln)
 	}
+	// Cross-check the declared row count against the file's actual
+	// size before trusting it: Evaluate sizes its chunk buffer and its
+	// ReadFull loop from n, so a crafted or truncated header would
+	// otherwise cause a huge allocation followed by a mid-scan panic.
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	rowBytes := int64(cols) * 8
+	if int64(n) > (math.MaxInt64-offset)/rowBytes {
+		return nil, fmt.Errorf("dataset: header declares %d rows × %d cols, beyond any addressable file", n, cols)
+	}
+	if want := offset + int64(n)*rowBytes; fi.Size() != want {
+		return nil, fmt.Errorf("dataset: file is %d bytes but header declares %d rows × %d cols (want %d bytes)",
+			fi.Size(), n, cols, want)
+	}
 	ds := &DiskScan{
 		path: path, names: names, n: n, cols: cols, spec: spec,
 		dataOffset: offset, chunkRows: chunkRows,

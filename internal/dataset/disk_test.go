@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"os"
@@ -86,6 +87,61 @@ func TestDiskScanRejectsBadFile(t *testing.T) {
 	if _, err := NewDiskScan(filepath.Join(dir, "missing.bin"), Spec{FilterCols: []int{0}, Stat: stats.Count}, 0); err == nil {
 		t.Error("expected error for missing file")
 	}
+}
+
+// TestDiskScanRejectsSizeMismatch covers headers whose declared row
+// count disagrees with the bytes actually on disk: truncated files,
+// files with trailing garbage, and a crafted header declaring a huge
+// (or overflowing) row count that would otherwise make Evaluate
+// allocate a full chunk buffer and panic mid-ReadFull.
+func TestDiskScanRejectsSizeMismatch(t *testing.T) {
+	d := toyDataset()
+	path := writeBinaryFile(t, d)
+	spec := Spec{FilterCols: []int{0, 1}, Stat: stats.Count}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(t *testing.T, b []byte) string {
+		p := filepath.Join(t.TempDir(), "crafted.bin")
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	t.Run("truncated", func(t *testing.T) {
+		p := write(t, raw[:len(raw)-8])
+		if _, err := NewDiskScan(p, spec, 0); err == nil {
+			t.Error("expected error for truncated file")
+		}
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		p := write(t, append(append([]byte(nil), raw...), 1, 2, 3))
+		if _, err := NewDiskScan(p, spec, 0); err == nil {
+			t.Error("expected error for trailing bytes")
+		}
+	})
+	t.Run("inflated row count", func(t *testing.T) {
+		crafted := append([]byte(nil), raw...)
+		binary.LittleEndian.PutUint64(crafted[8:], 1<<40) // magic is 8 bytes, then n
+		p := write(t, crafted)
+		if _, err := NewDiskScan(p, spec, 0); err == nil {
+			t.Error("expected error for inflated row count")
+		}
+	})
+	t.Run("overflowing row count", func(t *testing.T) {
+		crafted := append([]byte(nil), raw...)
+		binary.LittleEndian.PutUint64(crafted[8:], 1<<62)
+		p := write(t, crafted)
+		if _, err := NewDiskScan(p, spec, 0); err == nil {
+			t.Error("expected error for overflowing row count")
+		}
+	})
+	t.Run("exact size still opens", func(t *testing.T) {
+		if _, err := NewDiskScan(path, spec, 0); err != nil {
+			t.Errorf("pristine file rejected: %v", err)
+		}
+	})
 }
 
 func TestDiskScanValidatesSpec(t *testing.T) {

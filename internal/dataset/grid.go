@@ -25,6 +25,14 @@ type GridIndex struct {
 	domain geom.Rect
 	// width of a cell per dimension.
 	width []float64
+	// bounds[j] holds the res+1 cell boundary positions of dimension
+	// j: cell c spans [bounds[j][c], bounds[j][c+1]]. Cell membership
+	// and cell rects are both defined from this one array so they can
+	// never disagree; the last boundary is clamped to the true domain
+	// maximum because rows at the domain edge are assigned to the last
+	// cell even when float accumulation leaves min + res·width short
+	// of it.
+	bounds [][]float64
 	// rows lists the row indices in each cell (mixed-radix cell id).
 	rows [][]int32
 	// Pre-merged partials per cell for decomposable statistics.
@@ -63,12 +71,21 @@ func NewGridIndex(d *Dataset, spec Spec, res int) (*GridIndex, error) {
 	g := &GridIndex{d: d, spec: spec, res: res}
 	g.domain = d.Domain(spec.FilterCols)
 	g.width = make([]float64, dims)
+	g.bounds = make([][]float64, dims)
 	for j := 0; j < dims; j++ {
 		w := (g.domain.Max[j] - g.domain.Min[j]) / float64(res)
 		if w <= 0 {
 			w = 1 // degenerate dimension: everything lands in cell 0
 		}
 		g.width[j] = w
+		b := make([]float64, res+1)
+		for k := range b {
+			b[k] = g.domain.Min[j] + float64(k)*w
+		}
+		if b[res] < g.domain.Max[j] {
+			b[res] = g.domain.Max[j]
+		}
+		g.bounds[j] = b
 	}
 	cells := pow(res, dims)
 	g.rows = make([][]int32, cells)
@@ -120,6 +137,11 @@ func (g *GridIndex) Dims() int { return len(g.spec.FilterCols) }
 // Resolution returns the per-dimension cell count.
 func (g *GridIndex) Resolution() int { return g.res }
 
+// cellOf maps a coordinate to its cell: the c with bounds[c] ≤ v <
+// bounds[c+1], clamped to [0, res). The division only provides a
+// starting hint; the fixup walk makes the result exactly consistent
+// with the boundary array (and therefore with cellRect), which float
+// rounding of min + c·width alone cannot guarantee.
 func (g *GridIndex) cellOf(v float64, dim int) int {
 	c := int((v - g.domain.Min[dim]) / g.width[dim])
 	if c < 0 {
@@ -127,6 +149,13 @@ func (g *GridIndex) cellOf(v float64, dim int) int {
 	}
 	if c >= g.res {
 		c = g.res - 1
+	}
+	b := g.bounds[dim]
+	for c > 0 && v < b[c] {
+		c--
+	}
+	for c < g.res-1 && v >= b[c+1] {
+		c++
 	}
 	return c
 }
@@ -139,14 +168,18 @@ func (g *GridIndex) cellID(coord []int) int {
 	return id
 }
 
-// cellRect returns the spatial extent of the cell at coord.
+// cellRect returns the spatial extent of the cell at coord, read from
+// the same boundary array cellOf assigns rows with: every row mapped
+// into the cell lies inside the returned rect, so a region that
+// contains it may take the pre-merged interior fast path without
+// disagreeing with a per-row test.
 func (g *GridIndex) cellRect(coord []int) geom.Rect {
 	dims := len(coord)
 	min := make([]float64, dims)
 	max := make([]float64, dims)
 	for j, c := range coord {
-		min[j] = g.domain.Min[j] + float64(c)*g.width[j]
-		max[j] = min[j] + g.width[j]
+		min[j] = g.bounds[j][c]
+		max[j] = g.bounds[j][c+1]
 	}
 	return geom.Rect{Min: min, Max: max}
 }

@@ -1,0 +1,243 @@
+package surf
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// JSON encodings for the query/result/event types, used by the HTTP
+// serving layer (package server) and its clients. Queries marshal
+// with encoding/json's defaults (their validation rejects non-finite
+// numbers anyway); results and events need custom marshalers because
+// several of their fields are legitimately NaN — ComplianceRate when
+// verification is skipped, MeanFitness before any particle is valid,
+// TrueValue over an empty region — and encoding/json refuses
+// non-finite floats. Non-finite values encode as the JSON strings
+// "NaN", "+Inf" and "-Inf", and decode from them.
+
+// jsonFloat is a float64 whose JSON form tolerates non-finite values.
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
+}
+
+func (f *jsonFloat) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"NaN"`, "null":
+		*f = jsonFloat(math.NaN())
+		return nil
+	case `"+Inf"`, `"Inf"`:
+		*f = jsonFloat(math.Inf(1))
+		return nil
+	case `"-Inf"`:
+		*f = jsonFloat(math.Inf(-1))
+		return nil
+	}
+	v, err := strconv.ParseFloat(string(b), 64)
+	if err != nil {
+		return fmt.Errorf("surf: float %q: %w", b, err)
+	}
+	*f = jsonFloat(v)
+	return nil
+}
+
+func toJSONFloats(v []float64) []jsonFloat {
+	out := make([]jsonFloat, len(v))
+	for i, x := range v {
+		out[i] = jsonFloat(x)
+	}
+	return out
+}
+
+func fromJSONFloats(v []jsonFloat) []float64 {
+	if v == nil {
+		return nil
+	}
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// regionJSON is Region's wire form.
+type regionJSON struct {
+	Min       []jsonFloat `json:"min"`
+	Max       []jsonFloat `json:"max"`
+	Estimate  jsonFloat   `json:"estimate"`
+	Score     jsonFloat   `json:"score"`
+	Worms     int         `json:"worms"`
+	TrueValue jsonFloat   `json:"true_value"`
+	Verified  bool        `json:"verified"`
+	Satisfies bool        `json:"satisfies"`
+}
+
+// MarshalJSON encodes the region with snake_case keys and non-finite
+// values as strings (see package json notes above).
+func (r Region) MarshalJSON() ([]byte, error) {
+	return json.Marshal(regionJSON{
+		Min: toJSONFloats(r.Min), Max: toJSONFloats(r.Max),
+		Estimate: jsonFloat(r.Estimate), Score: jsonFloat(r.Score),
+		Worms: r.Worms, TrueValue: jsonFloat(r.TrueValue),
+		Verified: r.Verified, Satisfies: r.Satisfies,
+	})
+}
+
+// UnmarshalJSON decodes the wire form written by MarshalJSON.
+func (r *Region) UnmarshalJSON(b []byte) error {
+	var w regionJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*r = Region{
+		Min: fromJSONFloats(w.Min), Max: fromJSONFloats(w.Max),
+		Estimate: float64(w.Estimate), Score: float64(w.Score),
+		Worms: w.Worms, TrueValue: float64(w.TrueValue),
+		Verified: w.Verified, Satisfies: w.Satisfies,
+	}
+	return nil
+}
+
+// resultJSON is Result's wire form.
+type resultJSON struct {
+	Regions               []Region  `json:"regions"`
+	ValidParticleFraction jsonFloat `json:"valid_particle_fraction"`
+	ComplianceRate        jsonFloat `json:"compliance_rate"`
+	ElapsedSeconds        jsonFloat `json:"elapsed_seconds"`
+}
+
+// MarshalJSON encodes the result with snake_case keys; ComplianceRate
+// is the string "NaN" when verification was skipped.
+func (r Result) MarshalJSON() ([]byte, error) {
+	regions := r.Regions
+	if regions == nil {
+		regions = []Region{} // an empty result is [], not null
+	}
+	return json.Marshal(resultJSON{
+		Regions:               regions,
+		ValidParticleFraction: jsonFloat(r.ValidParticleFraction),
+		ComplianceRate:        jsonFloat(r.ComplianceRate),
+		ElapsedSeconds:        jsonFloat(r.ElapsedSeconds),
+	})
+}
+
+// UnmarshalJSON decodes the wire form written by MarshalJSON.
+func (r *Result) UnmarshalJSON(b []byte) error {
+	var w resultJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*r = Result{
+		Regions:               w.Regions,
+		ValidParticleFraction: float64(w.ValidParticleFraction),
+		ComplianceRate:        float64(w.ComplianceRate),
+		ElapsedSeconds:        float64(w.ElapsedSeconds),
+	}
+	return nil
+}
+
+// Event wire envelopes. Every event encodes as an object with a
+// "type" discriminator — "iteration", "region" or "done" — matching
+// the SSE event names the HTTP layer emits.
+const (
+	eventTypeIteration = "iteration"
+	eventTypeRegion    = "region"
+	eventTypeDone      = "done"
+)
+
+type eventIterationJSON struct {
+	Type                  string    `json:"type"`
+	Iteration             int       `json:"iteration"`
+	MeanFitness           jsonFloat `json:"mean_fitness"`
+	MeanLuciferin         jsonFloat `json:"mean_luciferin"`
+	ValidParticleFraction jsonFloat `json:"valid_particle_fraction"`
+	Moved                 int       `json:"moved"`
+}
+
+type eventRegionJSON struct {
+	Type      string `json:"type"`
+	Iteration int    `json:"iteration"`
+	Region    Region `json:"region"`
+}
+
+type eventDoneJSON struct {
+	Type   string  `json:"type"`
+	Result *Result `json:"result"`
+}
+
+// MarshalEvent encodes an event as its JSON envelope: a "type" field
+// ("iteration", "region" or "done") plus the event's payload. It is
+// the wire form the HTTP layer's SSE stream carries and
+// UnmarshalEvent reverses.
+func MarshalEvent(ev Event) ([]byte, error) {
+	switch ev := ev.(type) {
+	case EventIteration:
+		return json.Marshal(eventIterationJSON{
+			Type:                  eventTypeIteration,
+			Iteration:             ev.Iteration,
+			MeanFitness:           jsonFloat(ev.MeanFitness),
+			MeanLuciferin:         jsonFloat(ev.MeanLuciferin),
+			ValidParticleFraction: jsonFloat(ev.ValidParticleFraction),
+			Moved:                 ev.Moved,
+		})
+	case EventRegion:
+		return json.Marshal(eventRegionJSON{
+			Type: eventTypeRegion, Iteration: ev.Iteration, Region: ev.Region,
+		})
+	case EventDone:
+		return json.Marshal(eventDoneJSON{Type: eventTypeDone, Result: ev.Result})
+	}
+	return nil, fmt.Errorf("surf: MarshalEvent on unknown event %T", ev)
+}
+
+// UnmarshalEvent decodes an event envelope written by MarshalEvent.
+func UnmarshalEvent(b []byte) (Event, error) {
+	var head struct {
+		Type string `json:"type"`
+	}
+	if err := json.Unmarshal(b, &head); err != nil {
+		return nil, err
+	}
+	switch head.Type {
+	case eventTypeIteration:
+		var w eventIterationJSON
+		if err := json.Unmarshal(b, &w); err != nil {
+			return nil, err
+		}
+		return EventIteration{
+			Iteration:             w.Iteration,
+			MeanFitness:           float64(w.MeanFitness),
+			MeanLuciferin:         float64(w.MeanLuciferin),
+			ValidParticleFraction: float64(w.ValidParticleFraction),
+			Moved:                 w.Moved,
+		}, nil
+	case eventTypeRegion:
+		var w eventRegionJSON
+		if err := json.Unmarshal(b, &w); err != nil {
+			return nil, err
+		}
+		return EventRegion{Region: w.Region, Iteration: w.Iteration}, nil
+	case eventTypeDone:
+		var w eventDoneJSON
+		if err := json.Unmarshal(b, &w); err != nil {
+			return nil, err
+		}
+		if w.Result == nil {
+			w.Result = &Result{}
+		}
+		return EventDone{Result: w.Result}, nil
+	}
+	return nil, fmt.Errorf("surf: UnmarshalEvent: unknown event type %q", head.Type)
+}

@@ -1,0 +1,153 @@
+package surf
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestRegionJSONRoundTrip round-trips a region with non-finite fields
+// through its JSON form.
+func TestRegionJSONRoundTrip(t *testing.T) {
+	r := Region{
+		Min: []float64{0.1, -2}, Max: []float64{0.4, 3},
+		Estimate: 42.5, Score: math.Inf(-1), Worms: 7,
+		TrueValue: math.NaN(), Verified: true, Satisfies: false,
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"min"`, `"max"`, `"estimate"`, `"true_value"`, `"NaN"`, `"-Inf"`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("encoding %s lacks %s", b, key)
+		}
+	}
+	var back Region
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Min[0] != r.Min[0] || back.Max[1] != r.Max[1] || back.Estimate != r.Estimate {
+		t.Errorf("round trip changed bounds: %+v", back)
+	}
+	if !math.IsNaN(back.TrueValue) || !math.IsInf(back.Score, -1) {
+		t.Errorf("non-finite fields lost: %+v", back)
+	}
+	if back.Worms != 7 || !back.Verified || back.Satisfies {
+		t.Errorf("scalar fields lost: %+v", back)
+	}
+}
+
+// TestResultJSONRoundTrip round-trips a result, including the
+// NaN compliance rate of an unverified run and the empty-regions
+// encoding.
+func TestResultJSONRoundTrip(t *testing.T) {
+	res := Result{
+		Regions: []Region{{
+			Min: []float64{0}, Max: []float64{1}, Estimate: 5,
+		}},
+		ValidParticleFraction: 0.75,
+		ComplianceRate:        math.NaN(),
+		ElapsedSeconds:        1.25,
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Regions) != 1 || back.Regions[0].Estimate != 5 {
+		t.Errorf("regions lost: %+v", back)
+	}
+	if back.ValidParticleFraction != 0.75 || !math.IsNaN(back.ComplianceRate) || back.ElapsedSeconds != 1.25 {
+		t.Errorf("figures lost: %+v", back)
+	}
+
+	empty, err := json.Marshal(Result{ComplianceRate: math.NaN()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(empty), `"regions":[]`) {
+		t.Errorf("empty result encodes regions as %s, want []", empty)
+	}
+}
+
+// TestQueryJSON decodes the documented client-facing field names.
+func TestQueryJSON(t *testing.T) {
+	var q Query
+	err := json.Unmarshal([]byte(`{
+		"threshold": 100, "above": true, "c": 2.5, "max_regions": 8,
+		"use_true_function": true, "use_kde": true, "kde_sample": 500,
+		"glowworms": 40, "iterations": 60, "min_side_frac": 0.02,
+		"max_side_frac": 0.2, "workers": 4, "skip_verify": true,
+		"cluster_extents": true, "seed": 9
+	}`), &q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Query{
+		Threshold: 100, Above: true, C: 2.5, MaxRegions: 8,
+		UseTrueFunction: true, UseKDE: true, KDESample: 500,
+		Glowworms: 40, Iterations: 60, MinSideFrac: 0.02,
+		MaxSideFrac: 0.2, Workers: 4, SkipVerify: true,
+		ClusterExtents: true, Seed: 9,
+	}
+	if q != want {
+		t.Errorf("decoded %+v,\nwant %+v", q, want)
+	}
+
+	var tk TopKQuery
+	err = json.Unmarshal([]byte(`{"k": 5, "largest": true, "c": 3, "use_true_function": true, "skip_verify": true, "seed": 2}`), &tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.K != 5 || !tk.Largest || tk.C != 3 || !tk.UseTrueFunction || !tk.SkipVerify || tk.Seed != 2 {
+		t.Errorf("decoded %+v", tk)
+	}
+}
+
+// TestEventJSONRoundTrip round-trips each event type through
+// MarshalEvent/UnmarshalEvent.
+func TestEventJSONRoundTrip(t *testing.T) {
+	events := []Event{
+		EventIteration{Iteration: 3, MeanFitness: math.NaN(), MeanLuciferin: 5.5, ValidParticleFraction: 0.25, Moved: 40},
+		EventRegion{Iteration: 9, Region: Region{Min: []float64{0.2}, Max: []float64{0.6}, Estimate: 11, Worms: 3}},
+		EventDone{Result: &Result{ComplianceRate: math.NaN(), Regions: []Region{{Min: []float64{0}, Max: []float64{1}}}}},
+	}
+	for _, ev := range events {
+		b, err := MarshalEvent(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalEvent(b)
+		if err != nil {
+			t.Fatalf("decode %s: %v", b, err)
+		}
+		switch orig := ev.(type) {
+		case EventIteration:
+			got, ok := back.(EventIteration)
+			if !ok || got.Iteration != orig.Iteration || !math.IsNaN(got.MeanFitness) || got.Moved != orig.Moved {
+				t.Errorf("iteration round trip: %+v", back)
+			}
+		case EventRegion:
+			got, ok := back.(EventRegion)
+			if !ok || got.Iteration != orig.Iteration || got.Region.Estimate != orig.Region.Estimate {
+				t.Errorf("region round trip: %+v", back)
+			}
+		case EventDone:
+			got, ok := back.(EventDone)
+			if !ok || len(got.Result.Regions) != 1 || !math.IsNaN(got.Result.ComplianceRate) {
+				t.Errorf("done round trip: %+v", back)
+			}
+		}
+	}
+	if _, err := UnmarshalEvent([]byte(`{"type":"mystery"}`)); err == nil {
+		t.Error("unknown event type accepted")
+	}
+	if _, err := UnmarshalEvent([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}

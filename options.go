@@ -100,6 +100,8 @@ type engineOptions struct {
 	observer             func(Event)
 	domainSet            bool
 	domainMin, domainMax []float64
+	cacheSet             bool
+	cacheSize            int
 }
 
 // WithBackend replaces the engine's true-function evaluator with a
@@ -121,6 +123,33 @@ func WithDomain(min, max []float64) Option {
 		o.domainSet = true
 		o.domainMin = append([]float64(nil), min...)
 		o.domainMax = append([]float64(nil), max...)
+	}
+}
+
+// WithResultCache sizes the engine's query-result cache (default 64
+// entries; 0 or negative disables it). Find and FindTopK consult the
+// cache: a repeat of a recently answered query — after canonicalizing
+// "zero means default" knobs — against the same surrogate snapshot
+// returns the cached Result (as a private copy) without re-running
+// the swarm. Entries are keyed by snapshot generation and the cache
+// is cleared whenever TrainSurrogate or LoadSurrogate swaps the
+// model, so a stale model's results are never served. Streams,
+// FindMany and engines with a WithObserver callback bypass the
+// cache, since their callers consume the per-query event feed.
+//
+// Caching assumes repeated queries are deterministic, which holds
+// for every built-in code path over the engine's immutable dataset.
+// Engines opened with WithBackend therefore default to no cache —
+// the backend may front live data, and cached results replay
+// evaluator-derived values (TrueValue, ComplianceRate,
+// UseTrueFunction estimates) — and must opt in with an explicit
+// WithResultCache if their backend's data is immutable. Likewise
+// disable it if a custom statistic's function is not a pure function
+// of its rows.
+func WithResultCache(entries int) Option {
+	return func(o *engineOptions) {
+		o.cacheSet = true
+		o.cacheSize = entries
 	}
 }
 

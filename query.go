@@ -66,41 +66,41 @@ func (e *Engine) GenerateWorkloadContext(ctx context.Context, n int, seed uint64
 // Query is one mining request.
 type Query struct {
 	// Threshold is the statistic cut-off yR.
-	Threshold float64
+	Threshold float64 `json:"threshold"`
 	// Above selects regions with f > Threshold; false selects f <
 	// Threshold.
-	Above bool
+	Above bool `json:"above"`
 	// C is the region-size regularizer (default 4; larger prefers
 	// smaller regions).
-	C float64
+	C float64 `json:"c,omitempty"`
 	// MaxRegions caps the number of returned regions (default 16).
-	MaxRegions int
+	MaxRegions int `json:"max_regions,omitempty"`
 	// UseTrueFunction bypasses the surrogate and optimizes against
 	// the real dataset evaluator (the paper's f+GlowWorm baseline) —
 	// accurate but O(N) per evaluation.
-	UseTrueFunction bool
+	UseTrueFunction bool `json:"use_true_function,omitempty"`
 	// UseKDE enables the data-density selection prior (Eq. 8).
-	UseKDE bool
+	UseKDE bool `json:"use_kde,omitempty"`
 	// KDESample caps the KDE sample size (default 1000).
-	KDESample int
+	KDESample int `json:"kde_sample,omitempty"`
 	// Glowworms and Iterations override the swarm size and budget
 	// (defaults: L = 50·2d worms, T = 100).
-	Glowworms  int
-	Iterations int
+	Glowworms  int `json:"glowworms,omitempty"`
+	Iterations int `json:"iterations,omitempty"`
 	// MinSideFrac and MaxSideFrac bound region half-sides as
 	// fractions of the domain extent (defaults 0.01 and 0.15 — the
 	// surrogate's training range). Raising MinSideFrac keeps the
 	// size-regularized objective from shrinking regions below the
 	// scale the surrogate was trained on.
-	MinSideFrac float64
-	MaxSideFrac float64
+	MinSideFrac float64 `json:"min_side_frac,omitempty"`
+	MaxSideFrac float64 `json:"max_side_frac,omitempty"`
 	// Workers parallelizes the swarm's fitness evaluations across
 	// this many goroutines (0 or 1 = sequential). Results are
 	// bit-identical to the sequential run.
-	Workers int
+	Workers int `json:"workers,omitempty"`
 	// SkipVerify leaves regions unverified against the true f
 	// (verification costs one data scan per region).
-	SkipVerify bool
+	SkipVerify bool `json:"skip_verify,omitempty"`
 	// ClusterExtents reports each swarm cluster's bounding region
 	// instead of individual converged particles. With a size
 	// regularizer C > 0 particles shrink toward the smallest
@@ -108,9 +108,9 @@ type Query struct {
 	// region; cluster extents recover the region's full footprint.
 	// Recommended for statistics that do not shrink with region size
 	// (Mean, Ratio, Min, Max).
-	ClusterExtents bool
+	ClusterExtents bool `json:"cluster_extents,omitempty"`
 	// Seed makes the run deterministic.
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 }
 
 // TopKQuery requests the k highest- (or lowest-) statistic regions —
@@ -118,25 +118,25 @@ type Query struct {
 // paper's Section VI; use it when k is known and the threshold is not.
 type TopKQuery struct {
 	// K is the number of regions requested.
-	K int
+	K int `json:"k"`
 	// Largest selects the highest-statistic regions; false the
 	// lowest.
-	Largest bool
+	Largest bool `json:"largest"`
 	// C is the region-size regularizer (default 4).
-	C float64
+	C float64 `json:"c,omitempty"`
 	// UseTrueFunction bypasses the surrogate (O(N) per evaluation).
-	UseTrueFunction bool
+	UseTrueFunction bool `json:"use_true_function,omitempty"`
 	// Glowworms, Iterations, MinSideFrac, MaxSideFrac, Workers and
 	// Seed behave as in Query.
-	Glowworms   int
-	Iterations  int
-	MinSideFrac float64
-	MaxSideFrac float64
-	Workers     int
+	Glowworms   int     `json:"glowworms,omitempty"`
+	Iterations  int     `json:"iterations,omitempty"`
+	MinSideFrac float64 `json:"min_side_frac,omitempty"`
+	MaxSideFrac float64 `json:"max_side_frac,omitempty"`
+	Workers     int     `json:"workers,omitempty"`
 	// SkipVerify leaves regions unverified against the true
 	// statistic.
-	SkipVerify bool
-	Seed       uint64
+	SkipVerify bool   `json:"skip_verify,omitempty"`
+	Seed       uint64 `json:"seed,omitempty"`
 }
 
 // validate rejects queries no run could execute, before any work
@@ -186,6 +186,10 @@ func validateTuning(c float64, glowworms, iterations, workers int, minSide, maxS
 	return nil
 }
 
+// defaultKDESample is the KDE sample-size default shared by query
+// execution (startStream) and cache-key canonicalization.
+const defaultKDESample = 1000
+
 // gsoParams is the single source of optimizer defaulting for Find and
 // FindTopK. The effective parameters are identical whether or not any
 // override is set: the swarm size is always the paper's L = 50·2d
@@ -215,7 +219,8 @@ func gsoParams(dims, glowworms, iterations, workers int, seed uint64) gso.Params
 // evaluator when requested, else against the given surrogate snapshot
 // with its compiled batch predictor attached so swarm iterations run
 // one model pass per particle shard.
-func finderFor(e *Engine, surr *core.Surrogate, useTrue bool) (*core.Finder, core.StatFn, error) {
+func finderFor(e *Engine, snap *snapshot, useTrue bool) (*core.Finder, core.StatFn, error) {
+	surr := snap.surrogate()
 	switch {
 	case useTrue:
 		stat := core.StatFnFromEvaluator(e.evaluator)
@@ -263,27 +268,64 @@ func (e *Engine) FindTopKContext(ctx context.Context, q TopKQuery) (*Result, err
 // Batch callers skip the per-iteration telemetry and incumbent
 // sweeps (nobody consumes them) unless the engine has an observer —
 // both are passive, so results are identical either way.
-func findContext(ctx context.Context, e *Engine, surr *core.Surrogate, q Query) (*Result, error) {
-	s, err := startStream(ctx, e, surr, q, e.observer != nil)
+//
+// Batch calls are also the result cache's insertion point: a repeat
+// of a recently answered query under the same surrogate snapshot is
+// served from cache without re-running the swarm. Streams are never
+// cached (their consumers want the live event feed), and an
+// engine-wide observer disables caching, which would silently skip
+// its telemetry.
+func findContext(ctx context.Context, e *Engine, snap *snapshot, q Query) (*Result, error) {
+	// Validated here so the cache only ever keys executable queries;
+	// startStream validates again for its other callers (Stream,
+	// FindMany), which costs nanoseconds.
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	var key string
+	if e.cache.enabled() && e.observer == nil {
+		key = q.cacheKey(e.Dims(), snap)
+		if res, ok := e.cache.get(key); ok {
+			return res, nil
+		}
+	}
+	s, err := startStream(ctx, e, snap, q, e.observer != nil)
 	if err != nil {
 		return nil, err
 	}
 	res, err := s.Result()
 	if err != nil {
 		return nil, err
+	}
+	if key != "" {
+		e.cache.put(key, res)
 	}
 	return res, nil
 }
 
-// findTopKContext executes a top-k query by draining its stream.
-func findTopKContext(ctx context.Context, e *Engine, surr *core.Surrogate, q TopKQuery) (*Result, error) {
-	s, err := startTopKStream(ctx, e, surr, q, e.observer != nil)
+// findTopKContext executes a top-k query by draining its stream, with
+// the same cache policy as findContext.
+func findTopKContext(ctx context.Context, e *Engine, snap *snapshot, q TopKQuery) (*Result, error) {
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	var key string
+	if e.cache.enabled() && e.observer == nil {
+		key = q.cacheKey(e.Dims(), snap)
+		if res, ok := e.cache.get(key); ok {
+			return res, nil
+		}
+	}
+	s, err := startTopKStream(ctx, e, snap, q, e.observer != nil)
 	if err != nil {
 		return nil, err
 	}
 	res, err := s.Result()
 	if err != nil {
 		return nil, err
+	}
+	if key != "" {
+		e.cache.put(key, res)
 	}
 	return res, nil
 }
@@ -294,18 +336,18 @@ func findTopKContext(ctx context.Context, e *Engine, surr *core.Surrogate, q Top
 // ErrNoSurrogate and kin as plain return values rather than burying
 // them in the event stream. With events false the run emits only the
 // terminal EventDone — the batch fast path.
-func startStream(ctx context.Context, e *Engine, surr *core.Surrogate, q Query, events bool) (*Stream, error) {
+func startStream(ctx context.Context, e *Engine, snap *snapshot, q Query, events bool) (*Stream, error) {
 	if err := q.validate(); err != nil {
 		return nil, err
 	}
-	finder, statFn, err := finderFor(e, surr, q.UseTrueFunction)
+	finder, statFn, err := finderFor(e, snap, q.UseTrueFunction)
 	if err != nil {
 		return nil, err
 	}
 	if q.UseKDE {
 		sample := q.KDESample
 		if sample == 0 {
-			sample = 1000
+			sample = defaultKDESample
 		}
 		points := make([][]float64, e.data.Len())
 		for i := range points {
@@ -325,11 +367,11 @@ func startStream(ctx context.Context, e *Engine, surr *core.Surrogate, q Query, 
 }
 
 // startTopKStream is startStream for top-k queries.
-func startTopKStream(ctx context.Context, e *Engine, surr *core.Surrogate, q TopKQuery, events bool) (*Stream, error) {
+func startTopKStream(ctx context.Context, e *Engine, snap *snapshot, q TopKQuery, events bool) (*Stream, error) {
 	if err := q.validate(); err != nil {
 		return nil, err
 	}
-	finder, _, err := finderFor(e, surr, q.UseTrueFunction)
+	finder, _, err := finderFor(e, snap, q.UseTrueFunction)
 	if err != nil {
 		return nil, err
 	}
@@ -398,7 +440,7 @@ func runQuery(ctx context.Context, e *Engine, finder *core.Finder, statFn core.S
 	if q.ClusterExtents {
 		maxRegions := cfg.MaxRegions
 		if maxRegions == 0 {
-			maxRegions = 16
+			maxRegions = core.DefaultMaxRegions
 		}
 		clusters := core.ClusterRegions(res.Swarm, e.domain, 0.08)
 		if len(clusters) > maxRegions {
@@ -418,7 +460,7 @@ func runQuery(ctx context.Context, e *Engine, finder *core.Finder, statFn core.S
 	if !q.SkipVerify {
 		objCfg := core.ObjectiveConfig{YR: cfg.Threshold, Dir: dir, C: cfg.C}
 		if objCfg.C == 0 {
-			objCfg.C = 4
+			objCfg.C = core.DefaultC
 		}
 		compliance, err = core.VerifyContext(ctx, res.Regions, core.StatFnFromEvaluator(e.evaluator), objCfg)
 		if err != nil {

@@ -1,6 +1,11 @@
 package surf
 
 // Region is one mined region.
+//
+// Regions have a stable snake_case JSON form ("min", "max",
+// "estimate", "score", "worms", "true_value", "verified",
+// "satisfies") used by the HTTP serving layer; non-finite values
+// encode as the strings "NaN", "+Inf" and "-Inf". See json.go.
 type Region struct {
 	// Min and Max bound the hyper-rectangle per filter dimension.
 	Min, Max []float64
@@ -19,6 +24,11 @@ type Region struct {
 }
 
 // Result is a mining outcome.
+//
+// Results have a stable snake_case JSON form ("regions",
+// "valid_particle_fraction", "compliance_rate", "elapsed_seconds");
+// a skipped verification's NaN compliance rate encodes as the string
+// "NaN".
 type Result struct {
 	// Regions are the mined regions, best objective first.
 	Regions []Region

@@ -1,0 +1,357 @@
+// Package server exposes a surf.Engine over HTTP — the serving layer
+// of the paper's deployment story: the dataset and its trained
+// surrogate live in one process, and analysts (or dashboards) query
+// it remotely. The protocol is plain JSON over four endpoints:
+//
+//	POST /v1/find      Query          → Result
+//	POST /v1/topk      TopKQuery      → Result
+//	POST /v1/findmany  {queries:[…]}  → per-query results, completion order
+//	GET  /v1/stream    ?q= / ?topk=   → Server-Sent Events (iteration/region/done)
+//	GET  /healthz                     → liveness + surrogate status
+//
+// Sentinel errors map onto HTTP statuses: ErrBadQuery (and other
+// client mistakes) → 400, ErrNoSurrogate → 409 (the engine exists but
+// cannot serve surrogate queries yet — train or load first),
+// ErrBadArtifact → 422. Every error body is
+// {"error": …, "code": …}.
+//
+// Each request runs under its own context: a client that disconnects
+// mid-query (or mid-stream) cancels the underlying swarm within one
+// iteration. Serve shuts down gracefully when its context is
+// cancelled, draining in-flight requests.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	surf "surf"
+)
+
+// maxBodyBytes bounds request bodies; queries are a few hundred bytes,
+// so a megabyte leaves room for large findmany batches.
+const maxBodyBytes = 1 << 20
+
+// maxFindManyQueries bounds one findmany batch.
+const maxFindManyQueries = 256
+
+// shutdownTimeout is how long Serve waits for in-flight requests when
+// its context is cancelled before forcibly closing connections.
+const shutdownTimeout = 5 * time.Second
+
+// Server serves one engine's query API. Construct with New, mount
+// Handler on any mux or serve directly with Serve/ListenAndServe.
+// The engine may be retrained or have artifacts loaded concurrently;
+// queries in flight keep the snapshot they started with.
+type Server struct {
+	eng *surf.Engine
+	mux *http.ServeMux
+}
+
+// New wraps an engine in an HTTP API.
+func New(eng *surf.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/find", s.handleFind)
+	s.mux.HandleFunc("POST /v1/topk", s.handleTopK)
+	s.mux.HandleFunc("POST /v1/findmany", s.handleFindMany)
+	s.mux.HandleFunc("GET /v1/stream", s.handleStream)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the server's routes as a standard http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until ctx is cancelled, then shuts
+// down gracefully: the listener closes, request contexts (derived
+// from ctx) cancel so streams and long queries wind down, and
+// in-flight handlers get shutdownTimeout to finish before connections
+// are closed forcibly. Returns nil after a clean shutdown.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		// No WriteTimeout: /v1/stream responses are open-ended.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		defer cancel()
+		err := srv.Shutdown(sctx)
+		<-errc // srv.Serve has returned ErrServerClosed
+		if err != nil {
+			srv.Close()
+			return fmt.Errorf("server: shutdown: %w", err)
+		}
+		return nil
+	}
+}
+
+// ListenAndServe is Serve on a fresh TCP listener.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, l)
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// statusFor maps an engine error to an HTTP status and a stable
+// machine-readable code.
+func statusFor(err error) (int, string) {
+	switch {
+	case errors.Is(err, surf.ErrBadQuery),
+		errors.Is(err, surf.ErrBadConfig),
+		errors.Is(err, surf.ErrUnknownColumn):
+		return http.StatusBadRequest, "bad_query"
+	case errors.Is(err, surf.ErrDimMismatch):
+		return http.StatusBadRequest, "dim_mismatch"
+	case errors.Is(err, surf.ErrNoSurrogate):
+		return http.StatusConflict, "no_surrogate"
+	case errors.Is(err, surf.ErrBadArtifact):
+		return http.StatusUnprocessableEntity, "bad_artifact"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "timeout"
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is never seen but keeps
+		// logs honest.
+		return 499, "canceled"
+	}
+	return http.StatusInternalServerError, "internal"
+}
+
+// writeError sends the JSON error envelope for err.
+func writeError(w http.ResponseWriter, err error) {
+	status, code := statusFor(err)
+	writeJSON(w, status, errorBody{Error: err.Error(), Code: code})
+}
+
+// writeJSON sends v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// decodeBody strictly decodes a JSON request body into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: body: %v", surf.ErrBadQuery, err)
+	}
+	return nil
+}
+
+// decodeStrict is decodeBody's policy for queries that arrive in URL
+// parameters: unknown fields are rejected, so a typoed knob fails
+// loudly instead of silently running a default-valued query.
+func decodeStrict(data string, v any) error {
+	dec := json.NewDecoder(strings.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// handleFind executes one threshold query.
+func (s *Server) handleFind(w http.ResponseWriter, r *http.Request) {
+	var q surf.Query
+	if err := decodeBody(w, r, &q); err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.eng.FindContext(r.Context(), q)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleTopK executes one top-k query.
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var q surf.TopKQuery
+	if err := decodeBody(w, r, &q); err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.eng.FindTopKContext(r.Context(), q)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// findManyRequest and findManyResponse are the /v1/findmany wire
+// forms. Results arrive in completion order; Index recovers each
+// query's position in the request.
+type findManyRequest struct {
+	Queries []surf.Query `json:"queries"`
+}
+
+type findManyResult struct {
+	Index  int          `json:"index"`
+	Result *surf.Result `json:"result,omitempty"`
+	Error  string       `json:"error,omitempty"`
+	Code   string       `json:"code,omitempty"`
+}
+
+type findManyResponse struct {
+	Results []findManyResult `json:"results"`
+}
+
+// handleFindMany executes a batch of threshold queries on the
+// engine's worker pool against one surrogate snapshot.
+func (s *Server) handleFindMany(w http.ResponseWriter, r *http.Request) {
+	var req findManyRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, fmt.Errorf("%w: findmany with no queries", surf.ErrBadQuery))
+		return
+	}
+	if len(req.Queries) > maxFindManyQueries {
+		writeError(w, fmt.Errorf("%w: findmany with %d queries (limit %d)",
+			surf.ErrBadQuery, len(req.Queries), maxFindManyQueries))
+		return
+	}
+	out := findManyResponse{Results: make([]findManyResult, 0, len(req.Queries))}
+	for mr := range s.eng.FindMany(r.Context(), req.Queries) {
+		fr := findManyResult{Index: mr.Index, Result: mr.Result}
+		if mr.Err != nil {
+			_, code := statusFor(mr.Err)
+			fr.Error, fr.Code = mr.Err.Error(), code
+		}
+		out.Results = append(out.Results, fr)
+	}
+	if err := r.Context().Err(); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleStream runs one query as a Server-Sent Events stream. The
+// query rides in the URL — ?q={Query JSON} for threshold queries,
+// ?topk={TopKQuery JSON} for top-k — because EventSource clients can
+// only issue plain GETs. Each event is emitted as
+//
+//	event: iteration|region|done
+//	data: {…}
+//
+// with the data payload in MarshalEvent's envelope form (the "type"
+// field repeats the event name, so consumers without SSE event-name
+// support can dispatch on the payload alone). The stream ends after
+// "done"; a client that disconnects earlier cancels the swarm within
+// one iteration.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	qParam := r.URL.Query().Get("q")
+	topkParam := r.URL.Query().Get("topk")
+	if (qParam == "") == (topkParam == "") {
+		writeError(w, fmt.Errorf("%w: exactly one of q= and topk= is required", surf.ErrBadQuery))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, errors.New("server: response writer cannot stream"))
+		return
+	}
+
+	var st *surf.Stream
+	var err error
+	if qParam != "" {
+		var q surf.Query
+		if jerr := decodeStrict(qParam, &q); jerr != nil {
+			writeError(w, fmt.Errorf("%w: q: %v", surf.ErrBadQuery, jerr))
+			return
+		}
+		st, err = s.eng.Stream(r.Context(), q)
+	} else {
+		var q surf.TopKQuery
+		if jerr := decodeStrict(topkParam, &q); jerr != nil {
+			writeError(w, fmt.Errorf("%w: topk: %v", surf.ErrBadQuery, jerr))
+			return
+		}
+		st, err = s.eng.StreamTopK(r.Context(), q)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer st.Close()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	for ev, err := range st.Events() {
+		if err != nil {
+			// The run failed or the client disconnected. If the
+			// connection is still up, surface the failure as a
+			// terminal SSE comment; headers are long gone.
+			fmt.Fprintf(w, ": stream error: %v\n\n", err)
+			flusher.Flush()
+			return
+		}
+		payload, merr := surf.MarshalEvent(ev)
+		if merr != nil {
+			fmt.Fprintf(w, ": encode error: %v\n\n", merr)
+			flusher.Flush()
+			return
+		}
+		name := "iteration"
+		switch ev.(type) {
+		case surf.EventRegion:
+			name = "region"
+		case surf.EventDone:
+			name = "done"
+		}
+		if _, werr := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, payload); werr != nil {
+			return // client gone; st.Events' deferred Close stops the swarm
+		}
+		flusher.Flush()
+	}
+}
+
+// healthzBody is the /healthz response.
+type healthzBody struct {
+	Status    string   `json:"status"`
+	Dims      int      `json:"dims"`
+	Surrogate bool     `json:"surrogate"`
+	Statistic string   `json:"statistic,omitempty"`
+	Filters   []string `json:"filter_columns,omitempty"`
+}
+
+// handleHealthz reports liveness plus whether the engine can serve
+// surrogate queries (surrogate-less engines still answer
+// use_true_function queries).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body := healthzBody{Status: "ok", Dims: s.eng.Dims(), Surrogate: s.eng.HasSurrogate()}
+	if info, ok := s.eng.SurrogateInfo(); ok {
+		body.Statistic = info.Statistic
+		body.Filters = info.FilterColumns
+	}
+	writeJSON(w, http.StatusOK, body)
+}

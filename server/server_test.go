@@ -1,0 +1,537 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	surf "surf"
+)
+
+// testEngine builds a small clustered dataset and trains a quick
+// surrogate; with train=false the engine can still serve
+// use_true_function queries.
+func testEngine(t *testing.T, train bool) *surf.Engine {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(17, 3))
+	n := 1500
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		if i%3 == 0 {
+			xs[i] = 0.7 + rng.NormFloat64()*0.05
+			ys[i] = 0.3 + rng.NormFloat64()*0.05
+		} else {
+			xs[i] = rng.Float64()
+			ys[i] = rng.Float64()
+		}
+	}
+	d, err := surf.NewDataset([]string{"x", "y"}, [][]float64{xs, ys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := surf.Open(d, surf.Config{FilterColumns: []string{"x", "y"}, Statistic: surf.Count})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train {
+		wl, err := eng.GenerateWorkload(300, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.TrainSurrogate(wl, surf.TrainOptions{Trees: 20}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng
+}
+
+// testServer mounts a Server on an httptest listener.
+func testServer(t *testing.T, train bool) (*httptest.Server, *surf.Engine) {
+	t.Helper()
+	eng := testEngine(t, train)
+	ts := httptest.NewServer(New(eng).Handler())
+	t.Cleanup(ts.Close)
+	return ts, eng
+}
+
+// smallQuery keeps swarm runs fast in tests.
+var smallQuery = surf.Query{
+	Threshold: 30, Above: true, Seed: 2,
+	Glowworms: 20, Iterations: 15, MaxRegions: 4,
+}
+
+// postJSON posts v and returns the response.
+func postJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// decodeResponse decodes a JSON response body into v.
+func decodeResponse(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+}
+
+func TestFindEndpoint(t *testing.T) {
+	ts, eng := testServer(t, true)
+	resp := postJSON(t, ts.URL+"/v1/find", smallQuery)
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	var res surf.Result
+	decodeResponse(t, resp, &res)
+
+	want, err := eng.Find(smallQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regions) != len(want.Regions) {
+		t.Fatalf("HTTP mined %d regions, direct call %d", len(res.Regions), len(want.Regions))
+	}
+	for i := range want.Regions {
+		if res.Regions[i].Estimate != want.Regions[i].Estimate {
+			t.Errorf("region %d estimate %v over HTTP, %v direct", i, res.Regions[i].Estimate, want.Regions[i].Estimate)
+		}
+	}
+}
+
+func TestTopKEndpoint(t *testing.T) {
+	ts, _ := testServer(t, true)
+	q := surf.TopKQuery{K: 3, Largest: true, Seed: 2, Glowworms: 20, Iterations: 15}
+	resp := postJSON(t, ts.URL+"/v1/topk", q)
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	var res surf.Result
+	decodeResponse(t, resp, &res)
+	if len(res.Regions) == 0 || len(res.Regions) > 3 {
+		t.Fatalf("top-3 returned %d regions", len(res.Regions))
+	}
+	for i, r := range res.Regions {
+		if !r.Verified {
+			t.Errorf("region %d unverified", i)
+		}
+	}
+}
+
+// TestErrorMapping drives each sentinel into its documented status.
+func TestErrorMapping(t *testing.T) {
+	ts, _ := testServer(t, false) // no surrogate
+
+	t.Run("no surrogate → 409", func(t *testing.T) {
+		resp := postJSON(t, ts.URL+"/v1/find", smallQuery)
+		var e struct{ Error, Code string }
+		decodeResponse(t, resp, &e)
+		if resp.StatusCode != http.StatusConflict || e.Code != "no_surrogate" {
+			t.Fatalf("status %d code %q", resp.StatusCode, e.Code)
+		}
+	})
+	t.Run("bad query → 400", func(t *testing.T) {
+		q := smallQuery
+		q.MaxRegions = -1
+		q.UseTrueFunction = true
+		resp := postJSON(t, ts.URL+"/v1/find", q)
+		var e struct{ Error, Code string }
+		decodeResponse(t, resp, &e)
+		if resp.StatusCode != http.StatusBadRequest || e.Code != "bad_query" {
+			t.Fatalf("status %d code %q", resp.StatusCode, e.Code)
+		}
+	})
+	t.Run("malformed body → 400", func(t *testing.T) {
+		resp, err := http.Post(ts.URL+"/v1/find", "application/json", strings.NewReader("{not json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+	})
+	t.Run("unknown field → 400", func(t *testing.T) {
+		resp, err := http.Post(ts.URL+"/v1/find", "application/json",
+			strings.NewReader(`{"threshold": 1, "abvoe": true}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+	})
+	t.Run("bad topk → 400", func(t *testing.T) {
+		resp := postJSON(t, ts.URL+"/v1/topk", surf.TopKQuery{K: 0})
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+	})
+}
+
+func TestFindManyEndpoint(t *testing.T) {
+	ts, _ := testServer(t, true)
+	queries := []surf.Query{smallQuery, {Threshold: -5, Above: false, Seed: 3, Glowworms: 20, Iterations: 10}, {Threshold: 1, MaxRegions: -3}}
+	resp := postJSON(t, ts.URL+"/v1/findmany", map[string]any{"queries": queries})
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	var out struct {
+		Results []struct {
+			Index  int          `json:"index"`
+			Result *surf.Result `json:"result"`
+			Error  string       `json:"error"`
+			Code   string       `json:"code"`
+		} `json:"results"`
+	}
+	decodeResponse(t, resp, &out)
+	if len(out.Results) != 3 {
+		t.Fatalf("%d results for 3 queries", len(out.Results))
+	}
+	seen := map[int]bool{}
+	for _, r := range out.Results {
+		seen[r.Index] = true
+		if r.Index == 2 {
+			if r.Code != "bad_query" {
+				t.Errorf("invalid query reported code %q", r.Code)
+			}
+		} else if r.Error != "" {
+			t.Errorf("query %d failed: %s", r.Index, r.Error)
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("indices not unique: %v", seen)
+	}
+
+	t.Run("empty batch → 400", func(t *testing.T) {
+		resp := postJSON(t, ts.URL+"/v1/findmany", map[string]any{"queries": []surf.Query{}})
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+	})
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	name string
+	data string
+}
+
+// readSSE parses events off an SSE body until it ends or fn returns
+// false.
+func readSSE(t *testing.T, body io.Reader, fn func(sseEvent) bool) {
+	t.Helper()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var ev sseEvent
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if ev.name != "" || ev.data != "" {
+				if !fn(ev) {
+					return
+				}
+			}
+			ev = sseEvent{}
+		case strings.HasPrefix(line, "event: "):
+			ev.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			ev.data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+}
+
+func TestStreamEndpoint(t *testing.T) {
+	ts, _ := testServer(t, true)
+	q, _ := json.Marshal(smallQuery)
+	resp, err := http.Get(ts.URL + "/v1/stream?q=" + urlQueryEscape(string(q)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	var iterations, done int
+	var final *surf.Result
+	readSSE(t, resp.Body, func(ev sseEvent) bool {
+		decoded, err := surf.UnmarshalEvent([]byte(ev.data))
+		if err != nil {
+			t.Fatalf("bad event payload %q: %v", ev.data, err)
+		}
+		switch d := decoded.(type) {
+		case surf.EventIteration:
+			iterations++
+			if ev.name != "iteration" {
+				t.Errorf("iteration payload under event name %q", ev.name)
+			}
+		case surf.EventDone:
+			done++
+			final = d.Result
+		}
+		return true
+	})
+	if iterations == 0 {
+		t.Error("no iteration events")
+	}
+	if done != 1 || final == nil {
+		t.Fatalf("done events = %d", done)
+	}
+
+	t.Run("missing query → 400", func(t *testing.T) {
+		resp, err := http.Get(ts.URL + "/v1/stream")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+	})
+	t.Run("both q and topk → 400", func(t *testing.T) {
+		resp, err := http.Get(ts.URL + "/v1/stream?q={}&topk={}")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+	})
+	t.Run("unknown field → 400", func(t *testing.T) {
+		// Same strictness as the POST endpoints: a typoed knob must
+		// not silently stream a default-valued query.
+		resp, err := http.Get(ts.URL + "/v1/stream?q=" + urlQueryEscape(`{"treshold": 500}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+	})
+}
+
+func TestStreamTopKEndpoint(t *testing.T) {
+	ts, _ := testServer(t, true)
+	q, _ := json.Marshal(surf.TopKQuery{K: 2, Largest: true, Seed: 2, Glowworms: 20, Iterations: 10})
+	resp, err := http.Get(ts.URL + "/v1/stream?topk=" + urlQueryEscape(string(q)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	var done int
+	readSSE(t, resp.Body, func(ev sseEvent) bool {
+		if ev.name == "done" {
+			done++
+		}
+		return true
+	})
+	if done != 1 {
+		t.Fatalf("done events = %d", done)
+	}
+}
+
+// TestStreamClientCancellation disconnects mid-stream and proves the
+// mining goroutine (and the handler) wind down without a leak.
+func TestStreamClientCancellation(t *testing.T) {
+	ts, _ := testServer(t, true)
+	client := ts.Client()
+	baseline := runtime.NumGoroutine()
+
+	// A long run so cancellation strikes mid-mining.
+	long := smallQuery
+	long.Iterations = 3000
+	long.Glowworms = 60
+	q, _ := json.Marshal(long)
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/stream?q="+urlQueryEscape(string(q)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read a handful of events to prove the stream is live, then
+	// hang up mid-run.
+	events := 0
+	readSSE(t, resp.Body, func(ev sseEvent) bool {
+		events++
+		return events < 5
+	})
+	cancel()
+	resp.Body.Close()
+	if events < 5 {
+		t.Fatalf("stream delivered only %d events before cancellation", events)
+	}
+
+	client.CloseIdleConnections()
+	waitForGoroutines(t, baseline)
+}
+
+// waitForGoroutines retries until the goroutine count returns to the
+// baseline (modulo runtime noise), failing after two seconds.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d, baseline %d\n%s", runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := testServer(t, true)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Status    string   `json:"status"`
+		Dims      int      `json:"dims"`
+		Surrogate bool     `json:"surrogate"`
+		Statistic string   `json:"statistic"`
+		Filters   []string `json:"filter_columns"`
+	}
+	decodeResponse(t, resp, &body)
+	if body.Status != "ok" || body.Dims != 2 || !body.Surrogate {
+		t.Fatalf("healthz = %+v", body)
+	}
+	if body.Statistic != "count" || len(body.Filters) != 2 {
+		t.Fatalf("healthz surrogate info = %+v", body)
+	}
+
+	bare, _ := testServer(t, false)
+	resp, err = http.Get(bare.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeResponse(t, resp, &body)
+	if body.Status != "ok" || body.Surrogate {
+		t.Fatalf("surrogate-less healthz = %+v", body)
+	}
+}
+
+// TestGracefulShutdown serves on a real listener, cancels the serve
+// context and expects a clean wind-down: Serve returns nil and the
+// port closes.
+func TestGracefulShutdown(t *testing.T) {
+	eng := testEngine(t, true)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- New(eng).Serve(ctx, l) }()
+
+	// The server answers while up.
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve returned %v after graceful shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after context cancellation")
+	}
+	if _, err := net.DialTimeout("tcp", addr, 500*time.Millisecond); err == nil {
+		t.Fatal("port still accepting connections after shutdown")
+	}
+}
+
+// urlQueryEscape is a minimal query-string escaper for test URLs.
+func urlQueryEscape(s string) string {
+	r := strings.NewReplacer("{", "%7B", "}", "%7D", `"`, "%22", " ", "%20", "+", "%2B", "#", "%23", "&", "%26")
+	return r.Replace(s)
+}
+
+// TestStreamShutdownMidFlight cancels the serve context while a
+// stream is in flight: the in-flight response must terminate and
+// Serve must still return promptly.
+func TestStreamShutdownMidFlight(t *testing.T) {
+	eng := testEngine(t, true)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- New(eng).Serve(ctx, l) }()
+
+	long := smallQuery
+	long.Iterations = 3000
+	q, _ := json.Marshal(long)
+	resp, err := http.Get(fmt.Sprintf("http://%s/v1/stream?q=%s", l.Addr(), urlQueryEscape(string(q))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// Confirm the stream is flowing, then pull the rug.
+	events := 0
+	readSSE(t, resp.Body, func(sseEvent) bool {
+		events++
+		if events == 3 {
+			cancel()
+		}
+		return events < 1000 // keep reading until the server hangs up
+	})
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("Serve did not return; in-flight stream blocked shutdown")
+	}
+}

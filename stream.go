@@ -7,8 +7,6 @@ import (
 	"math"
 	"runtime"
 	"sync"
-
-	"surf/internal/core"
 )
 
 // Stream delivers one query's results progressively: EventIteration
@@ -178,7 +176,7 @@ func (e *Engine) Stream(ctx context.Context, q Query) (*Stream, error) {
 // Stream is Engine.Stream against the session's pinned surrogate
 // snapshot.
 func (s *Session) Stream(ctx context.Context, q Query) (*Stream, error) {
-	return startStream(ctx, s.eng, s.surr, q, true)
+	return startStream(ctx, s.eng, s.snap, q, true)
 }
 
 // StreamTopK starts a top-k query and returns its progressive result
@@ -192,7 +190,7 @@ func (e *Engine) StreamTopK(ctx context.Context, q TopKQuery) (*Stream, error) {
 // StreamTopK is Engine.StreamTopK against the session's pinned
 // surrogate snapshot.
 func (s *Session) StreamTopK(ctx context.Context, q TopKQuery) (*Stream, error) {
-	return startTopKStream(ctx, s.eng, s.surr, q, true)
+	return startTopKStream(ctx, s.eng, s.snap, q, true)
 }
 
 // MultiResult is one query's outcome in a FindMany run.
@@ -224,10 +222,10 @@ func (e *Engine) FindMany(ctx context.Context, queries []Query) iter.Seq[MultiRe
 // FindMany is Engine.FindMany against the session's pinned surrogate
 // snapshot.
 func (s *Session) FindMany(ctx context.Context, queries []Query) iter.Seq[MultiResult] {
-	return findMany(ctx, s.eng, s.surr, queries)
+	return findMany(ctx, s.eng, s.snap, queries)
 }
 
-func findMany(ctx context.Context, e *Engine, surr *core.Surrogate, queries []Query) iter.Seq[MultiResult] {
+func findMany(ctx context.Context, e *Engine, snap *snapshot, queries []Query) iter.Seq[MultiResult] {
 	return func(yield func(MultiResult) bool) {
 		if len(queries) == 0 {
 			return
@@ -247,7 +245,7 @@ func findMany(ctx context.Context, e *Engine, surr *core.Surrogate, queries []Qu
 					// so a cancelled query still surfaces its partial
 					// result alongside the error. Incumbent sweeps
 					// run only when the engine has an observer.
-					st, err := startStream(mctx, e, surr, queries[i], e.observer != nil)
+					st, err := startStream(mctx, e, snap, queries[i], e.observer != nil)
 					var res *Result
 					if err == nil {
 						res, err = st.Result()
