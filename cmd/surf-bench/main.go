@@ -9,11 +9,17 @@
 //	surf-bench -exp tab1 -scale full
 //	surf-bench -list
 //	surf-bench -json -out results -min-speedup 1.5
+//	surf-bench -train-json -out results -min-speedup 1.3
 //
 // The -json mode skips the paper experiments and instead benchmarks
 // the surrogate inference hot path (row-at-a-time vs compiled batch
-// prediction), writing the trajectory to <out>/BENCH_inference.json;
-// -min-speedup turns the batch-64 speedup into a hard gate for CI.
+// prediction), writing the trajectory to <out>/BENCH_inference.json.
+// The -train-json mode benchmarks the training hot path (the parallel
+// gbt pipeline at Workers=1 vs Workers=NumCPU), writing
+// <out>/BENCH_training.json and asserting the two models are
+// byte-identical. In either mode -min-speedup turns the measured
+// speedup (batch-64 for inference, parallel-over-serial for training)
+// into a hard gate for CI; both modes may be combined in one run.
 package main
 
 import (
@@ -35,7 +41,8 @@ func main() {
 		out        = flag.String("out", "results", "directory for CSV outputs ('' disables)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		jsonBench  = flag.Bool("json", false, "run the inference benchmark and write BENCH_inference.json instead of experiments")
-		minSpeedup = flag.Float64("min-speedup", 0, "with -json: fail unless the batch-64 speedup reaches this factor (0 disables)")
+		trainBench = flag.Bool("train-json", false, "run the training benchmark and write BENCH_training.json instead of experiments")
+		minSpeedup = flag.Float64("min-speedup", 0, "with -json/-train-json: fail unless the measured speedup reaches this factor (0 disables)")
 	)
 	flag.Parse()
 	if *list {
@@ -44,9 +51,16 @@ func main() {
 		}
 		return
 	}
-	if *jsonBench {
-		if err := runInferenceBench(*out, *minSpeedup); err != nil {
-			cli.Exit("surf-bench", err)
+	if *jsonBench || *trainBench {
+		if *jsonBench {
+			if err := runInferenceBench(*out, *minSpeedup); err != nil {
+				cli.Exit("surf-bench", err)
+			}
+		}
+		if *trainBench {
+			if err := runTrainingBench(*out, *minSpeedup); err != nil {
+				cli.Exit("surf-bench", err)
+			}
 		}
 		return
 	}

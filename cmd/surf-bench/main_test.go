@@ -87,3 +87,53 @@ func TestInferenceBenchSpeedupGate(t *testing.T) {
 		t.Error("expected gate failure for absurd -min-speedup")
 	}
 }
+
+// shrinkTrainBench makes the training benchmark cheap for tests.
+func shrinkTrainBench(t *testing.T) {
+	t.Helper()
+	rows, feats, trees, depth := trainBenchRows, trainBenchFeats, trainBenchTrees, trainBenchDepth
+	trainBenchRows, trainBenchFeats, trainBenchTrees, trainBenchDepth = 2000, 4, 5, 4
+	t.Cleanup(func() {
+		trainBenchRows, trainBenchFeats, trainBenchTrees, trainBenchDepth = rows, feats, trees, depth
+	})
+}
+
+func TestTrainingBenchWritesJSON(t *testing.T) {
+	shrinkTrainBench(t)
+	dir := t.TempDir()
+	if err := runTrainingBench(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_training.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep trainingReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "training" || rep.Rows != 2000 || rep.Trees != 5 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	if !rep.Identical {
+		t.Fatal("serial and parallel models must be byte-identical")
+	}
+	for _, p := range []trainingPoint{rep.Serial, rep.Parallel} {
+		if p.WallSeconds <= 0 || p.RowsPerSec <= 0 || p.Workers < 1 {
+			t.Fatalf("non-positive measurement: %+v", p)
+		}
+	}
+	if rep.Serial.Workers != 1 {
+		t.Errorf("serial point ran with %d workers, want 1", rep.Serial.Workers)
+	}
+	if rep.Speedup <= 0 {
+		t.Errorf("speedup = %g, want > 0", rep.Speedup)
+	}
+}
+
+func TestTrainingBenchSpeedupGate(t *testing.T) {
+	shrinkTrainBench(t)
+	if err := runTrainingBench("", 1e9); err == nil {
+		t.Error("expected gate failure for absurd -min-speedup")
+	}
+}

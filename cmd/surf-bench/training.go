@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"surf/internal/gbt"
+)
+
+// Training benchmark mode (-train-json): measures the surrogate
+// training hot path — the parallel, cancellable gbt pipeline — at
+// Workers=1 versus Workers=NumCPU on one deterministic workload, and
+// writes the result to BENCH_training.json. CI runs this on every
+// push, uploads the file alongside BENCH_inference.json and (with
+// -min-speedup) gates on the parallel speedup. The run doubles as a
+// determinism assertion: both models must serialize to identical
+// bytes, or the benchmark fails outright.
+
+// trainingPoint is one Workers configuration's measurement.
+type trainingPoint struct {
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// RowsPerSec counts row-gradient updates: rows × boosting rounds
+	// per second of wall clock.
+	RowsPerSec float64 `json:"rows_per_sec"`
+}
+
+// trainingReport is the BENCH_training.json payload.
+type trainingReport struct {
+	Name      string        `json:"name"`
+	GoVersion string        `json:"go_version"`
+	GOARCH    string        `json:"goarch"`
+	CPUs      int           `json:"cpus"`
+	Rows      int           `json:"rows"`
+	Features  int           `json:"features"`
+	Trees     int           `json:"trees"`
+	MaxDepth  int           `json:"max_depth"`
+	Serial    trainingPoint `json:"serial"`   // Workers=1
+	Parallel  trainingPoint `json:"parallel"` // Workers=NumCPU
+	Speedup   float64       `json:"speedup"`
+	// Identical records the differential check: the Workers=1 and
+	// Workers=NumCPU models serialized to byte-identical artifacts.
+	Identical bool `json:"identical"`
+}
+
+// Training benchmark knobs, overridden by the tests to keep them fast;
+// the defaults size the workload so histogram construction dominates
+// and the parallel pipeline has real work to spread.
+var (
+	trainBenchRows  = 60000
+	trainBenchFeats = 8
+	trainBenchTrees = 40
+	trainBenchDepth = 6
+)
+
+// runTrainingBench measures both Workers configurations and writes
+// BENCH_training.json under out. A minSpeedup > 0 turns the parallel
+// speedup into a hard gate.
+func runTrainingBench(out string, minSpeedup float64) error {
+	rep, err := measureTraining()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training benchmark: %d rows × %d features, %d trees depth %d (%s %s, %d CPUs)\n",
+		rep.Rows, rep.Features, rep.Trees, rep.MaxDepth, rep.GoVersion, rep.GOARCH, rep.CPUs)
+	fmt.Printf("%10s  %12s  %14s\n", "workers", "wall", "rows/s")
+	for _, p := range []trainingPoint{rep.Serial, rep.Parallel} {
+		fmt.Printf("%10d  %12.3fs  %14.0f\n", p.Workers, p.WallSeconds, p.RowsPerSec)
+	}
+	fmt.Printf("speedup: %.2fx (models identical: %v)\n", rep.Speedup, rep.Identical)
+
+	if out != "" {
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(out, "BENCH_training.json")
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if minSpeedup > 0 && rep.Speedup < minSpeedup {
+		return fmt.Errorf("training speedup %.2fx below required %.2fx", rep.Speedup, minSpeedup)
+	}
+	return nil
+}
+
+// measureTraining trains the benchmark workload at both Workers
+// settings, keeping the faster of two runs each (the least-interfered
+// sample, matching the inference benchmark's noise strategy).
+func measureTraining() (*trainingReport, error) {
+	X, y := gbt.BenchTrainingSet(trainBenchRows, trainBenchFeats)
+	p := gbt.DefaultParams()
+	p.NumTrees = trainBenchTrees
+	p.MaxDepth = trainBenchDepth
+
+	rep := &trainingReport{
+		Name:      "training",
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Rows:      trainBenchRows,
+		Features:  trainBenchFeats,
+		Trees:     trainBenchTrees,
+		MaxDepth:  trainBenchDepth,
+	}
+
+	serial, serialBytes, err := timeTraining(p, 1, X, y)
+	if err != nil {
+		return nil, err
+	}
+	parallel, parallelBytes, err := timeTraining(p, runtime.NumCPU(), X, y)
+	if err != nil {
+		return nil, err
+	}
+	rep.Serial, rep.Parallel = serial, parallel
+	rep.Speedup = serial.WallSeconds / parallel.WallSeconds
+	rep.Identical = bytes.Equal(serialBytes, parallelBytes)
+	if !rep.Identical {
+		return nil, fmt.Errorf("determinism violation: Workers=1 and Workers=%d models differ", runtime.NumCPU())
+	}
+	return rep, nil
+}
+
+// timeTraining trains twice at the given worker count and returns the
+// faster measurement plus the model's artifact bytes.
+func timeTraining(p gbt.Params, workers int, X [][]float64, y []float64) (trainingPoint, []byte, error) {
+	p.Workers = workers
+	best := time.Duration(1<<63 - 1)
+	var artifact []byte
+	for i := 0; i < 2; i++ {
+		start := time.Now()
+		m, err := gbt.TrainContext(context.Background(), p, X, y, nil, nil)
+		elapsed := time.Since(start)
+		if err != nil {
+			return trainingPoint{}, nil, err
+		}
+		if elapsed < best {
+			best = elapsed
+		}
+		if artifact == nil {
+			var buf bytes.Buffer
+			if err := m.Save(&buf); err != nil {
+				return trainingPoint{}, nil, err
+			}
+			artifact = buf.Bytes()
+		}
+	}
+	secs := best.Seconds()
+	return trainingPoint{
+		Workers:     workers,
+		WallSeconds: secs,
+		RowsPerSec:  float64(len(X)) * float64(p.NumTrees) / secs,
+	}, artifact, nil
+}

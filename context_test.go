@@ -75,6 +75,61 @@ func TestTrainSurrogateContextCancelled(t *testing.T) {
 	}
 }
 
+// TestTrainSurrogateContextCancelMidTrain is the regression test for
+// the dropped-context bug: the non-hypertuned TrainSurrogateContext
+// used to call core training without the ctx, so cancellation was a
+// no-op and a huge fit ran to completion. Now a cancel mid-train must
+// return context.Canceled within one boosting round and leave the
+// engine's surrogate snapshot — model and provenance — untouched.
+func TestTrainSurrogateContextCancelMidTrain(t *testing.T) {
+	d := crimeGrid(2000, 36)
+	eng, err := Open(d, Config{FilterColumns: []string{"x", "y"}, Statistic: Count, UseGridIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := eng.GenerateWorkload(1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Install a small surrogate first so "snapshot unchanged" is
+	// observable through predictions and provenance.
+	if err := eng.TrainSurrogate(wl, TrainOptions{Trees: 12}); err != nil {
+		t.Fatal(err)
+	}
+	center, half := []float64{0.5, 0.5}, []float64{0.2, 0.2}
+	before, err := eng.PredictStatistic(center, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infoBefore, _ := eng.SurrogateInfo()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err = eng.TrainSurrogateContext(ctx, wl, TrainOptions{Trees: 1_000_000})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled TrainSurrogateContext returned %v, want context.Canceled", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Errorf("cancelled TrainSurrogateContext took %s, want a within-one-round return", elapsed)
+	}
+	after, err := eng.PredictStatistic(center, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before {
+		t.Errorf("cancelled training changed predictions: %g -> %g", before, after)
+	}
+	infoAfter, _ := eng.SurrogateInfo()
+	if infoAfter.Trees != infoBefore.Trees || infoAfter.TrainedQueries != infoBefore.TrainedQueries {
+		t.Errorf("cancelled training swapped the snapshot: %+v -> %+v", infoBefore, infoAfter)
+	}
+}
+
 // TestConcurrentFindAndTrain runs Find queries against one engine
 // while TrainSurrogate repeatedly swaps the model. Run under
 // `go test -race` this asserts the atomic-snapshot design is sound.

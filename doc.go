@@ -30,7 +30,9 @@
 //   - Every long-running entry point has a context-accepting form
 //     (FindContext, FindTopKContext, TrainSurrogateContext,
 //     GenerateWorkloadContext). Cancellation is plumbed into the
-//     optimizer and honored within one swarm iteration; the
+//     optimizer (honored within one swarm iteration) and into
+//     surrogate training (honored within one boosting round, on the
+//     plain fit and inside every hyper-tuning fold alike); the
 //     context-free names are thin context.Background() wrappers.
 //   - An Engine is safe for concurrent use. Queries read an atomic
 //     snapshot of the surrogate, so TrainSurrogate or LoadSurrogate
@@ -117,6 +119,23 @@
 //	eng2, _ := surf.Open(ds, sameConfig)
 //	_ = eng2.LoadSurrogate(&buf)                // bit-identical predictions
 //	info, _ := eng2.SurrogateInfo()             // provenance survives
+//
+// # Training performance
+//
+// Surrogate training is the dominant offline cost, so the boosted-tree
+// trainer runs as a parallel pipeline: histogram construction and
+// best-split search fan out across features (and large nodes across
+// row chunks) over TrainOptions.Workers goroutines (0 = one per CPU),
+// sibling histograms are derived by subtraction instead of a second
+// scan, and per-round prediction updates come from the leaf
+// assignments captured during tree growth rather than re-walking
+// every tree. Parallelism is an execution knob only — the trained
+// model is byte-identical for every Workers value, so retraining on a
+// different machine shape never changes results. A cancelled
+// TrainSurrogateContext returns within one boosting round and leaves
+// the engine's current surrogate snapshot untouched; incremental
+// training behaves the same way, committing its extra trees
+// all-or-nothing.
 //
 // # Serving and caching
 //

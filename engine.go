@@ -281,11 +281,12 @@ func (e *Engine) TrainSurrogate(w Workload, opts ...TrainOptions) error {
 	return e.TrainSurrogateContext(context.Background(), w, opts...)
 }
 
-// TrainSurrogateContext is TrainSurrogate with cancellation. With
-// HyperTune set, the context is additionally checked before each grid
-// combination of the hyper-parameter search (the dominant cost); a
-// single boosted-tree fit runs to completion once started. A
-// cancelled call leaves the engine's current surrogate untouched.
+// TrainSurrogateContext is TrainSurrogate with cancellation, observed
+// within one boosting round on every path: the plain fit, and — with
+// HyperTune set — both between grid combinations and inside each
+// combination's cross-validation fits. A cancelled call returns
+// ctx.Err() promptly and leaves the engine's current surrogate
+// untouched.
 func (e *Engine) TrainSurrogateContext(ctx context.Context, w Workload, opts ...TrainOptions) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -303,7 +304,7 @@ func (e *Engine) TrainSurrogateContext(ctx context.Context, w Workload, opts ...
 		}
 		s, _, err = core.TrainSurrogateCVContext(ctx, w.log, o.params(), ml.GBTGrid(), folds, o.Seed+1)
 	} else {
-		s, err = core.TrainSurrogate(w.log, o.params())
+		s, err = core.TrainSurrogateContext(ctx, w.log, o.params())
 	}
 	if err != nil {
 		return err

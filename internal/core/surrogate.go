@@ -52,13 +52,21 @@ func NewSurrogateFromModel(model *gbt.Model, dims int) (*Surrogate, error) {
 var ErrEmptyLog = errors.New("core: empty query log")
 
 // TrainSurrogate fits a boosted-tree surrogate on a query log with
-// fixed hyper-parameters (the paper's Hypertuning=False mode).
+// fixed hyper-parameters (the paper's Hypertuning=False mode). It is
+// exactly TrainSurrogateContext(context.Background(), ...).
 func TrainSurrogate(log dataset.QueryLog, params gbt.Params) (*Surrogate, error) {
+	return TrainSurrogateContext(context.Background(), log, params)
+}
+
+// TrainSurrogateContext is TrainSurrogate with cancellation, observed
+// within one boosting round (see gbt.TrainContext); params.Workers
+// governs training parallelism.
+func TrainSurrogateContext(ctx context.Context, log dataset.QueryLog, params gbt.Params) (*Surrogate, error) {
 	if len(log) == 0 {
 		return nil, ErrEmptyLog
 	}
 	X, y := log.Features()
-	model, err := gbt.Train(params, X, y, nil, nil)
+	model, err := gbt.TrainContext(ctx, params, X, y, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +112,8 @@ func TrainSurrogateCVContext(ctx context.Context, log dataset.QueryLog, base gbt
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := reg.Fit(X, y); err != nil {
+	// The final full-log fit observes ctx too, not just the grid loop.
+	if err := ml.FitRegressor(ctx, reg, X, y); err != nil {
 		return nil, nil, err
 	}
 	model := reg.(*ml.GBTRegressor).Model()
@@ -131,12 +140,20 @@ func (s *Surrogate) Model() *gbt.Model { return s.model }
 // result can be swapped in atomically (as the engine does) while
 // queries keep running against the old snapshot.
 func (s *Surrogate) ContinueTraining(extra int, log dataset.QueryLog) (*Surrogate, error) {
+	return s.ContinueTrainingContext(context.Background(), extra, log)
+}
+
+// ContinueTrainingContext is ContinueTraining with cancellation,
+// observed within one extra boosting round; a cancelled call returns
+// ctx.Err() and no new surrogate (the receiver, as ever, is
+// untouched).
+func (s *Surrogate) ContinueTrainingContext(ctx context.Context, extra int, log dataset.QueryLog) (*Surrogate, error) {
 	if len(log) == 0 {
 		return nil, ErrEmptyLog
 	}
 	X, y := log.Features()
 	m := s.model.Clone()
-	if err := m.ContinueTraining(extra, X, y); err != nil {
+	if err := m.ContinueTrainingContext(ctx, extra, X, y); err != nil {
 		return nil, err
 	}
 	return newSurrogate(m, s.dims), nil

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"surf/internal/dataset"
+	"surf/internal/gbt"
+	"surf/internal/synth"
+)
+
+// testWorkload generates a small query log for the cancellation tests.
+func testWorkload(t *testing.T, queries int) dataset.QueryLog {
+	t.Helper()
+	ds := synth.MustGenerate(synth.Config{Dims: 2, Regions: 1, Stat: synth.Density, N: 2000, Seed: 11})
+	ev, err := dataset.NewLinearScan(ds.Data, ds.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := synth.GenerateWorkload(ev, ds.Domain(), synth.DefaultWorkloadConfig(queries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+// TestTrainSurrogateContextCancelled covers the core-layer ctx form:
+// cancellation mid-train returns context.Canceled within one boosting
+// round rather than after the full tree budget.
+func TestTrainSurrogateContextCancelled(t *testing.T) {
+	log := testWorkload(t, 600)
+	params := gbt.DefaultParams()
+	params.NumTrees = 1_000_000
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	s, err := TrainSurrogateContext(ctx, log, params)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled TrainSurrogateContext returned %v, want context.Canceled", err)
+	}
+	if s != nil {
+		t.Fatal("cancelled training returned a surrogate")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("cancelled TrainSurrogateContext took %s, want prompt return", elapsed)
+	}
+}
+
+// TestContinueTrainingContextCancelled checks that a cancelled
+// incremental-training call returns ctx.Err() and no new surrogate,
+// with the receiver untouched (surrogates are immutable).
+func TestContinueTrainingContextCancelled(t *testing.T) {
+	log := testWorkload(t, 300)
+	params := gbt.DefaultParams()
+	params.NumTrees = 10
+	s, err := TrainSurrogate(log, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	treesBefore := s.Model().NumTrees()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	fresh, err := s.ContinueTrainingContext(ctx, 1_000_000, log)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ContinueTrainingContext returned %v, want context.Canceled", err)
+	}
+	if fresh != nil {
+		t.Fatal("cancelled continuation returned a surrogate")
+	}
+	if s.Model().NumTrees() != treesBefore {
+		t.Errorf("receiver mutated: %d trees, want %d", s.Model().NumTrees(), treesBefore)
+	}
+}

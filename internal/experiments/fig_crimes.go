@@ -32,8 +32,12 @@ func Fig5Crimes(scale Scale) (*Report, error) {
 	}
 
 	// Past evaluations double as both the training set and the sample
-	// defining Q3.
-	queries := 3000
+	// defining Q3. The Small workload must stay dense enough that the
+	// surrogate's peak sits on the true hotspot: at 3000 queries the
+	// compliance outcome is a knife-edge — equal-quality retrains (any
+	// reordering of training-time float arithmetic) swing it between
+	// ~0.3 and ~0.8 — while 6000 keeps it stable across swarm seeds.
+	queries := 6000
 	if scale == Full {
 		queries = 20000
 	}
@@ -62,11 +66,20 @@ func Fig5Crimes(scale Scale) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	gsoParams := gsoParamsFor(2, scale, 52)
+	if scale == Small {
+		// The crimes surface is spiky; at the shared Small budget of
+		// 100 iterations the swarm reports half-converged clusters on
+		// marginal shoulders of the hotspot (measured compliance
+		// 0.3–0.86 depending on seed). 150 iterations lets every
+		// cluster settle and holds compliance at 1.0 across seeds.
+		gsoParams.MaxIters = 150
+	}
 	cfg := core.FinderConfig{
 		Threshold: yR,
 		Dir:       core.Above,
 		C:         4,
-		GSO:       gsoParamsFor(2, scale, 52),
+		GSO:       gsoParams,
 		// Q3-sized counts need room: search the full trained range.
 		MinSideFrac: 0.03,
 		MaxSideFrac: 0.15,

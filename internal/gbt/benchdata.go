@@ -31,3 +31,28 @@ func BenchEnsemble(trees, depth, probeRows int) (*Model, [][]float64, error) {
 	}
 	return m, probes, nil
 }
+
+// BenchTrainingSet generates the deterministic regression problem the
+// training benchmark (surf-bench -train-json) fits: feats features
+// with pairwise interactions and noise, shaped like the surrogate's
+// [x, l] workload encoding. One shared builder keeps every training
+// measurement fitting the same surface, so Workers=1 vs Workers=N
+// wall-clocks stay comparable.
+func BenchTrainingSet(rows, feats int) (X [][]float64, y []float64) {
+	rng := rand.New(rand.NewPCG(23, 1))
+	X = make([][]float64, rows)
+	y = make([]float64, rows)
+	for i := range X {
+		row := make([]float64, feats)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		X[i] = row
+		v := 100 * row[0]
+		for j := 1; j < feats; j++ {
+			v += float64(10*j) * row[j] * row[j-1]
+		}
+		y[i] = v + rng.NormFloat64()
+	}
+	return X, y
+}

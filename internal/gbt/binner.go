@@ -19,15 +19,22 @@ type binner struct {
 // newBinner builds quantile cut points from the training matrix
 // (rows × features), producing at most maxBins bins per feature.
 func newBinner(x [][]float64, maxBins int) *binner {
+	return newBinnerPar(x, maxBins, 1)
+}
+
+// newBinnerPar is newBinner with the cut-point computation fanned out
+// across features (each feature's column copy, sort and cut scan is
+// independent, so the result is identical for every worker count).
+func newBinnerPar(x [][]float64, maxBins, workers int) *binner {
 	features := len(x[0])
 	b := &binner{cuts: make([][]float64, features)}
-	vals := make([]float64, len(x))
-	for j := 0; j < features; j++ {
+	parallelFor(workers, features, func(j int) {
+		vals := make([]float64, len(x))
 		for i := range x {
 			vals[i] = x[i][j]
 		}
 		b.cuts[j] = quantileCuts(vals, maxBins)
-	}
+	})
 	return b
 }
 
@@ -81,16 +88,28 @@ func (b *binner) upperValue(j, k int) float64 {
 
 // binMatrix quantizes the whole matrix row-major into bytes.
 func (b *binner) binMatrix(x [][]float64) []uint8 {
+	return b.binMatrixPar(x, 1)
+}
+
+// binMatrixPar is binMatrix parallel over row chunks; each row's bins
+// are computed independently, so the output is identical for every
+// worker count.
+func (b *binner) binMatrixPar(x [][]float64, workers int) []uint8 {
 	features := b.features()
 	out := make([]uint8, len(x)*features)
-	for i, row := range x {
-		if len(row) != features {
-			panic(fmt.Sprintf("gbt: row %d has %d features, want %d", i, len(row), features))
+	R := rowChunks(len(x))
+	parallelFor(workers, R, func(r int) {
+		lo, hi := chunkRange(len(x), R, r)
+		for i := lo; i < hi; i++ {
+			row := x[i]
+			if len(row) != features {
+				panic(fmt.Sprintf("gbt: row %d has %d features, want %d", i, len(row), features))
+			}
+			base := i * features
+			for j, v := range row {
+				out[base+j] = b.binOf(j, v)
+			}
 		}
-		base := i * features
-		for j, v := range row {
-			out[base+j] = b.binOf(j, v)
-		}
-	}
+	})
 	return out
 }

@@ -1,6 +1,7 @@
 package gbt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -25,8 +26,20 @@ var ErrNotTrained = errors.New("gbt: model not trained")
 
 // Train fits an ensemble to X (rows × features) and y. valX/valY are
 // an optional validation split for early stopping and eval history;
-// pass nil to disable.
+// pass nil to disable. It is exactly
+// TrainContext(context.Background(), ...).
 func Train(p Params, X [][]float64, y []float64, valX [][]float64, valY []float64) (*Model, error) {
+	return TrainContext(context.Background(), p, X, y, valX, valY)
+}
+
+// TrainContext is Train with cancellation and parallelism. The context
+// is checked before every boosting round, so a cancelled training
+// request returns ctx.Err() within one round rather than running the
+// full tree budget; no partial model is returned. Params.Workers
+// bounds the goroutines used for histogram construction, split search
+// and prediction updates — the trained model is bit-identical for
+// every Workers value (work decomposition never depends on it).
+func TrainContext(ctx context.Context, p Params, X [][]float64, y []float64, valX [][]float64, valY []float64) (*Model, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -40,8 +53,21 @@ func Train(p Params, X [][]float64, y []float64, valX [][]float64, valY []float6
 	if nfeat == 0 {
 		return nil, errors.New("gbt: zero features")
 	}
+	// Widths are validated before any work: with Workers > 1 a ragged
+	// row would otherwise panic on a spawned goroutine, which no
+	// caller can recover from.
+	for i, row := range X {
+		if len(row) != nfeat {
+			return nil, fmt.Errorf("gbt: row %d has %d features, want %d", i, len(row), nfeat)
+		}
+	}
 	if (valX == nil) != (valY == nil) || len(valX) != len(valY) {
 		return nil, errors.New("gbt: validation features and labels must match")
+	}
+	for i, row := range valX {
+		if len(row) != nfeat {
+			return nil, fmt.Errorf("gbt: validation row %d has %d features, want %d", i, len(row), nfeat)
+		}
 	}
 	if p.EarlyStopping > 0 && len(valX) == 0 {
 		return nil, errors.New("gbt: early stopping requires a validation set")
@@ -50,30 +76,15 @@ func Train(p Params, X [][]float64, y []float64, valX [][]float64, valY []float6
 	m := &Model{params: p, nfeat: nfeat}
 	m.baseScore = mean(y)
 
-	bnr := newBinner(X, p.MaxBins)
-	bins := bnr.binMatrix(X)
-	n := len(X)
-
-	pred := make([]float64, n)
-	for i := range pred {
-		pred[i] = m.baseScore
+	tr := newTrainer(p, p.effectiveWorkers(), X, y, nfeat)
+	for i := range tr.pred {
+		tr.pred[i] = m.baseScore
 	}
-	valPred := make([]float64, len(valX))
-	for i := range valPred {
-		valPred[i] = m.baseScore
-	}
+	tr.rng = rand.New(rand.NewPCG(p.Seed, 0x9e3779b97f4a7c15))
 
-	grad := make([]float64, n)
-	hess := make([]float64, n)
-	rng := rand.New(rand.NewPCG(p.Seed, 0x9e3779b97f4a7c15))
-
-	allRows := make([]int32, n)
-	for i := range allRows {
-		allRows[i] = int32(i)
-	}
-	allCols := make([]int, nfeat)
-	for j := range allCols {
-		allCols[j] = j
+	var vs *valState
+	if len(valX) > 0 {
+		vs = newValState(tr, valX, valY, m.baseScore)
 	}
 
 	bestRMSE := math.Inf(1)
@@ -81,42 +92,13 @@ func Train(p Params, X [][]float64, y []float64, valX [][]float64, valY []float6
 	m.bestRound = -1
 
 	for round := 0; round < p.NumTrees; round++ {
-		// Squared loss: g = ŷ − y, h = 1.
-		for i := 0; i < n; i++ {
-			grad[i] = pred[i] - y[i]
-			hess[i] = 1
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		rows := allRows
-		if p.Subsample < 1 {
-			k := int(math.Ceil(p.Subsample * float64(n)))
-			if k < 1 {
-				k = 1
-			}
-			rows = sampleInt32(rng, n, k)
-		}
-		cols := allCols
-		if p.ColSample < 1 {
-			k := int(math.Ceil(p.ColSample * float64(nfeat)))
-			if k < 1 {
-				k = 1
-			}
-			perm := rng.Perm(nfeat)[:k]
-			cols = perm
-		}
-		tb := &treeBuilder{p: p, binner: bnr, bins: bins, nfeat: nfeat, grad: grad, hess: hess, cols: cols}
-		t := tb.build(rows)
+		t := tr.round()
 		m.trees = append(m.trees, t)
-		for i := 0; i < n; i++ {
-			pred[i] += t.predict(X[i])
-		}
-		if len(valX) > 0 {
-			var sum float64
-			for i := range valX {
-				valPred[i] += t.predict(valX[i])
-				d := valPred[i] - valY[i]
-				sum += d * d
-			}
-			rmse := math.Sqrt(sum / float64(len(valX)))
+		if vs != nil {
+			rmse := vs.update(tr, t)
 			m.evalHistory = append(m.evalHistory, rmse)
 			if rmse < bestRMSE-1e-12 {
 				bestRMSE = rmse

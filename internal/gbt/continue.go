@@ -1,6 +1,7 @@
 package gbt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
@@ -25,8 +26,19 @@ func (m *Model) Clone() *Model {
 // deployment where a surrogate is trained once and then kept fresh as
 // more region evaluations arrive (Section V-D) without a full
 // retrain. The new trees fit the residuals of the current ensemble on
-// the provided data; features are re-binned from the new matrix.
+// the provided data; features are re-binned from the new matrix. It is
+// exactly ContinueTrainingContext(context.Background(), ...).
 func (m *Model) ContinueTraining(extra int, X [][]float64, y []float64) error {
+	return m.ContinueTrainingContext(context.Background(), extra, X, y)
+}
+
+// ContinueTrainingContext is ContinueTraining with cancellation and
+// parallelism (see TrainContext): the context is checked before every
+// extra round, and Params.Workers governs the goroutines used. The
+// new trees are committed only when every requested round completes —
+// a cancelled call returns ctx.Err() within one round and leaves the
+// model exactly as it was.
+func (m *Model) ContinueTrainingContext(ctx context.Context, extra int, X [][]float64, y []float64) error {
 	if len(m.trees) == 0 && m.nfeat == 0 {
 		return ErrNotTrained
 	}
@@ -45,45 +57,17 @@ func (m *Model) ContinueTraining(extra int, X [][]float64, y []float64) error {
 		}
 	}
 	p := m.params
-	bnr := newBinner(X, p.MaxBins)
-	bins := bnr.binMatrix(X)
-	n := len(X)
+	tr := newTrainer(p, p.effectiveWorkers(), X, y, m.nfeat)
+	m.PredictInto(X, tr.pred)
+	tr.rng = rand.New(rand.NewPCG(p.Seed^0x5851f42d4c957f2d, uint64(len(m.trees))))
 
-	pred := m.Predict(X)
-	grad := make([]float64, n)
-	hess := make([]float64, n)
-	rng := rand.New(rand.NewPCG(p.Seed^0x5851f42d4c957f2d, uint64(len(m.trees))))
-
-	allRows := make([]int32, n)
-	for i := range allRows {
-		allRows[i] = int32(i)
-	}
-	allCols := make([]int, m.nfeat)
-	for j := range allCols {
-		allCols[j] = j
-	}
-
+	newTrees := make([]*tree, 0, extra)
 	for round := 0; round < extra; round++ {
-		for i := 0; i < n; i++ {
-			grad[i] = pred[i] - y[i]
-			hess[i] = 1
+		if err := ctx.Err(); err != nil {
+			return err
 		}
-		rows := allRows
-		if p.Subsample < 1 {
-			k := max(1, int(p.Subsample*float64(n)))
-			rows = sampleInt32(rng, n, k)
-		}
-		cols := allCols
-		if p.ColSample < 1 {
-			k := max(1, int(p.ColSample*float64(m.nfeat)))
-			cols = rng.Perm(m.nfeat)[:k]
-		}
-		tb := &treeBuilder{p: p, binner: bnr, bins: bins, nfeat: m.nfeat, grad: grad, hess: hess, cols: cols}
-		t := tb.build(rows)
-		m.trees = append(m.trees, t)
-		for i := 0; i < n; i++ {
-			pred[i] += t.predict(X[i])
-		}
+		newTrees = append(newTrees, tr.round())
 	}
+	m.trees = append(m.trees, newTrees...)
 	return nil
 }

@@ -1,0 +1,83 @@
+package gbt
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Training parallelism helpers. The cardinal rule: work decomposition
+// (how rows and features split into tasks) is always a pure function
+// of the data, never of the worker count, and every reduction happens
+// sequentially in task-index order. parallelFor then only changes
+// which goroutine executes a task, so a model trained with any
+// Workers value is bit-identical to the Workers=1 reference — the
+// property the differential tests pin.
+
+// parallelFor runs fn(i) for every i in [0, n) across at most workers
+// goroutines. Tasks are claimed from an atomic counter, so fn must
+// write only to task-indexed slots (reduce sequentially afterwards).
+// workers <= 1 runs inline with no goroutines.
+func parallelFor(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// rowChunkTarget is the row count one chunk task aims for; rowChunks
+// caps the chunk count so scratch buffers stay bounded.
+const (
+	rowChunkTarget = 8192
+	maxRowChunks   = 16
+)
+
+// rowChunks returns how many chunks n rows split into — a pure
+// function of n (never of the worker count), so chunked floating-point
+// reductions associate identically for every Workers value.
+func rowChunks(n int) int {
+	r := n / rowChunkTarget
+	if r < 1 {
+		return 1
+	}
+	if r > maxRowChunks {
+		return maxRowChunks
+	}
+	return r
+}
+
+// chunkRange returns the half-open row range of chunk r of R over n
+// rows. Chunks differ in size by at most one row.
+func chunkRange(n, R, r int) (lo, hi int) {
+	return r * n / R, (r + 1) * n / R
+}
+
+// effectiveWorkers resolves the Workers knob: 0 means one worker per
+// available CPU.
+func (p Params) effectiveWorkers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}

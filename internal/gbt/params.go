@@ -53,6 +53,13 @@ type Params struct {
 	EarlyStopping int
 	// Seed drives row/column subsampling.
 	Seed uint64
+	// Workers is the number of goroutines training may use for
+	// histogram construction, split search and prediction updates
+	// (0 means one per available CPU). It is an execution knob, not a
+	// model property: the trained ensemble is bit-identical for every
+	// value, and Save normalizes it to 0 so serialized artifacts do
+	// not depend on the machine that produced them.
+	Workers int
 }
 
 // DefaultParams mirror the fixed (non-hypertuned) configuration used
@@ -93,6 +100,8 @@ func (p Params) Validate() error {
 		return fmt.Errorf("gbt: ColSample %g out of (0,1]", p.ColSample)
 	case p.MaxBins < 2 || p.MaxBins > 256:
 		return fmt.Errorf("gbt: MaxBins %d out of [2,256]", p.MaxBins)
+	case p.Workers < 0:
+		return fmt.Errorf("gbt: Workers %d must be >= 0", p.Workers)
 	}
 	return nil
 }

@@ -23,7 +23,11 @@ type gobTree struct {
 	Nodes []node
 }
 
-// Save writes the model in gob encoding.
+// Save writes the model in gob encoding. Params.Workers is an
+// execution knob, not a model property — the trained ensemble is
+// bit-identical for every value — so it is normalized to 0 in the
+// artifact; a loaded model trains continuation rounds with one worker
+// per CPU unless the caller sets it again.
 func (m *Model) Save(w io.Writer) error {
 	g := gobModel{
 		Params:    m.params,
@@ -31,6 +35,7 @@ func (m *Model) Save(w io.Writer) error {
 		NumFeat:   m.nfeat,
 		BestRound: m.bestRound,
 	}
+	g.Params.Workers = 0
 	for _, t := range m.trees {
 		g.Trees = append(g.Trees, gobTree{Nodes: t.Nodes})
 	}

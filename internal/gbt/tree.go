@@ -20,6 +20,10 @@ type node struct {
 
 const leafMarker = int32(-1)
 
+// noLeaf marks a training row not covered by the current round's tree
+// (row subsampling left it out of the build).
+const noLeaf = int32(-1)
+
 // predict walks the tree for one raw feature row.
 func (t *tree) predict(row []float64) float64 {
 	idx := int32(0)
@@ -36,7 +40,59 @@ func (t *tree) predict(row []float64) float64 {
 	}
 }
 
-// treeBuilder grows one tree depth-wise over binned features.
+// predictBinned walks the tree for one binned feature row. Split
+// thresholds are always bin upper boundaries, so comparing the row's
+// bin against the split's bin (recorded in nodeBins during the build)
+// is exactly equivalent to the raw-value walk — and much cheaper,
+// which is what lets training update predictions without re-binning.
+func predictBinned(t *tree, nodeBins []uint8, rowBins []uint8) float64 {
+	idx := int32(0)
+	for {
+		n := &t.Nodes[idx]
+		if n.Feature == leafMarker {
+			return n.Weight
+		}
+		if rowBins[n.Feature] <= nodeBins[idx] {
+			idx = n.Left
+		} else {
+			idx = n.Right
+		}
+	}
+}
+
+// splitCand is one node's best split over one (or all) features.
+type splitCand struct {
+	feat   int // -1 when no split beats Gamma and the child-weight floor
+	bin    int
+	gain   float64
+	gL, hL float64 // gradient sums of the left child
+}
+
+// buildNode describes a frontier node during depth-wise growth. hist
+// (when non-nil) holds the node's per-feature gradient histograms and
+// cand the best split found over them; a nil hist marks a forced leaf
+// (depth or child-weight bound), for which no histogram was built.
+type buildNode struct {
+	nodeIdx int32
+	rows    []int32
+	depth   int
+	sumG    float64
+	sumH    float64
+	hist    []float64
+	cand    splitCand
+}
+
+// treeBuilder grows trees depth-wise over binned features. It is
+// created once per training run and reused across boosting rounds so
+// its histogram buffer pools amortize.
+//
+// Histogram layout: one flat []float64 per node of length
+// 2·len(cols)·stride, feature ci's gradient sums at
+// [ci·2·stride, +stride) and hessian sums at [ci·2·stride+stride,
+// +stride). Histograms are built for the smaller child of each split
+// and derived for the sibling by subtraction from the parent
+// (hist_sibling = hist_parent − hist_child), halving histogram work —
+// the classic trick from LightGBM/XGBoost hist mode.
 type treeBuilder struct {
 	p      Params
 	binner *binner
@@ -44,124 +100,383 @@ type treeBuilder struct {
 	nfeat  int
 	grad   []float64
 	hess   []float64
-	// features eligible this tree (column subsampling).
-	cols []int
+	// cols are the features eligible this tree (column subsampling),
+	// in ascending order so the deterministic split reduction's
+	// "lowest feature index wins ties" rule is meaningful.
+	cols    []int
+	workers int
+	stride  int // histogram slots per feature (Params.MaxBins)
+	// leafOf records, per training row, the leaf the current tree
+	// routes it to (noLeaf for rows outside the round's subsample).
+	// The trainer turns it into O(1) prediction updates.
+	leafOf []int32
+	// nodeBins holds each split node's bin boundary, aligned with the
+	// tree's node slice; predictBinned uses it to walk binned rows.
+	nodeBins []uint8
+	candBuf  []splitCand
+	partials []float64
+	// freeHist pools node-histogram buffers (2·nfeat·stride each, the
+	// worst-case cols width); freeCol pools single-feature chunk
+	// buffers (2·stride each) for row-chunked accumulation. Pools are
+	// touched only from the sequential orchestration path, never
+	// inside parallelFor.
+	freeHist [][]float64
+	freeCol  [][]float64
+	scratch  [][]float64
 }
 
-// buildNode describes a frontier node during depth-wise growth.
-type buildNode struct {
-	nodeIdx int32
-	rows    []int32
-	depth   int
-	sumG    float64
-	sumH    float64
+// newTreeBuilder sizes a builder for a training run.
+func newTreeBuilder(p Params, bnr *binner, bins []uint8, nfeat int, grad, hess []float64, leafOf []int32, workers int) *treeBuilder {
+	return &treeBuilder{
+		p:        p,
+		binner:   bnr,
+		bins:     bins,
+		nfeat:    nfeat,
+		grad:     grad,
+		hess:     hess,
+		workers:  workers,
+		stride:   p.MaxBins,
+		leafOf:   leafOf,
+		candBuf:  make([]splitCand, nfeat),
+		partials: make([]float64, 2*maxRowChunks),
+	}
 }
 
-// histogram accumulates per-bin gradient statistics for one feature.
-type histogram struct {
-	g [256]float64
-	h [256]float64
+func (b *treeBuilder) getHist() []float64 {
+	if n := len(b.freeHist); n > 0 {
+		h := b.freeHist[n-1]
+		b.freeHist = b.freeHist[:n-1]
+		return h
+	}
+	return make([]float64, 2*b.nfeat*b.stride)
 }
 
-// build grows the tree over the given rows.
+func (b *treeBuilder) putHist(h []float64) { b.freeHist = append(b.freeHist, h) }
+
+// getColBufs returns n pooled single-feature buffers (not zeroed; the
+// accumulation tasks zero their own buffer).
+func (b *treeBuilder) getColBufs(n int) [][]float64 {
+	if cap(b.scratch) < n {
+		b.scratch = make([][]float64, n)
+	}
+	b.scratch = b.scratch[:n]
+	for i := range b.scratch {
+		if k := len(b.freeCol); k > 0 {
+			b.scratch[i] = b.freeCol[k-1]
+			b.freeCol = b.freeCol[:k-1]
+		} else {
+			b.scratch[i] = make([]float64, 2*b.stride)
+		}
+	}
+	return b.scratch
+}
+
+func (b *treeBuilder) putColBufs(bufs [][]float64) {
+	b.freeCol = append(b.freeCol, bufs...)
+}
+
+// build grows one tree over the given rows and records each row's leaf
+// in leafOf.
 func (b *treeBuilder) build(rows []int32) *tree {
 	t := &tree{}
-	var sumG, sumH float64
-	for _, r := range rows {
-		sumG += b.grad[r]
-		sumH += b.hess[r]
-	}
+	b.nodeBins = b.nodeBins[:0]
+	sumG, sumH := b.rootSums(rows)
 	t.Nodes = append(t.Nodes, node{Feature: leafMarker})
-	frontier := []buildNode{{nodeIdx: 0, rows: rows, depth: 0, sumG: sumG, sumH: sumH}}
+	b.nodeBins = append(b.nodeBins, 0)
+	root := buildNode{nodeIdx: 0, rows: rows, depth: 0, sumG: sumG, sumH: sumH}
+	if b.canSplit(root.depth, root.rows, root.sumH) {
+		b.prepare(&root)
+	}
+	frontier := []buildNode{root}
 	for len(frontier) > 0 {
 		nb := frontier[len(frontier)-1]
 		frontier = frontier[:len(frontier)-1]
-		feat, bin, gain, gL, hL := b.bestSplit(nb)
-		if feat < 0 || nb.depth >= b.p.MaxDepth {
+		if nb.hist == nil || nb.cand.feat < 0 {
 			b.makeLeaf(t, nb)
+			if nb.hist != nil {
+				b.putHist(nb.hist)
+			}
 			continue
 		}
-		left, right := b.partition(nb.rows, feat, bin)
+		cand := nb.cand
+		left, right := b.partition(nb.rows, cand.feat, cand.bin)
 		if len(left) == 0 || len(right) == 0 {
 			// Numerically possible when all rows share the split bin.
 			b.makeLeaf(t, nb)
+			b.putHist(nb.hist)
 			continue
 		}
 		leftIdx := int32(len(t.Nodes))
 		t.Nodes = append(t.Nodes, node{Feature: leafMarker})
+		b.nodeBins = append(b.nodeBins, 0)
 		rightIdx := int32(len(t.Nodes))
 		t.Nodes = append(t.Nodes, node{Feature: leafMarker})
+		b.nodeBins = append(b.nodeBins, 0)
 		t.Nodes[nb.nodeIdx] = node{
-			Feature:   int32(feat),
-			Threshold: b.binner.upperValue(feat, bin),
+			Feature:   int32(cand.feat),
+			Threshold: b.binner.upperValue(cand.feat, cand.bin),
 			Left:      leftIdx,
 			Right:     rightIdx,
-			Gain:      gain,
+			Gain:      cand.gain,
 		}
-		frontier = append(frontier,
-			buildNode{nodeIdx: leftIdx, rows: left, depth: nb.depth + 1, sumG: gL, sumH: hL},
-			buildNode{nodeIdx: rightIdx, rows: right, depth: nb.depth + 1, sumG: nb.sumG - gL, sumH: nb.sumH - hL},
-		)
+		b.nodeBins[nb.nodeIdx] = uint8(cand.bin)
+		ln := buildNode{nodeIdx: leftIdx, rows: left, depth: nb.depth + 1, sumG: cand.gL, sumH: cand.hL}
+		rn := buildNode{nodeIdx: rightIdx, rows: right, depth: nb.depth + 1, sumG: nb.sumG - cand.gL, sumH: nb.sumH - cand.hL}
+		b.prepareChildren(&ln, &rn, nb.hist)
+		frontier = append(frontier, ln, rn)
 	}
 	return t
 }
 
+// canSplit reports whether a node could ever produce a valid split:
+// below the depth bound, at least two rows, and (provably) enough
+// hessian mass for two children. Nodes failing it become leaves
+// without paying for a histogram.
+func (b *treeBuilder) canSplit(depth int, rows []int32, sumH float64) bool {
+	if depth >= b.p.MaxDepth || len(rows) < 2 {
+		return false
+	}
+	if b.p.MinChildWeight > 0 && sumH < 2*b.p.MinChildWeight {
+		return false
+	}
+	return true
+}
+
 // makeLeaf finalizes a frontier node as a leaf with the XGBoost weight
-// −G/(H+λ), shrunken by the learning rate.
+// −G/(H+λ), shrunken by the learning rate, and records the leaf
+// assignment of every row it covers.
 func (b *treeBuilder) makeLeaf(t *tree, nb buildNode) {
 	w := -nb.sumG / (nb.sumH + b.p.Lambda)
 	t.Nodes[nb.nodeIdx] = node{Feature: leafMarker, Weight: w * b.p.LearningRate}
+	for _, r := range nb.rows {
+		b.leafOf[r] = nb.nodeIdx
+	}
 }
 
-// bestSplit scans histograms of all eligible features and returns the
-// best (feature, bin, gain, leftG, leftH), or feature −1 when no split
-// beats Gamma and the child-weight constraint.
-func (b *treeBuilder) bestSplit(nb buildNode) (feat, bin int, gain, gL, hL float64) {
-	if nb.depth >= b.p.MaxDepth || len(nb.rows) < 2 {
-		return -1, 0, 0, 0, 0
+// prepare builds a node's histograms by scanning its rows and finds
+// its best split.
+func (b *treeBuilder) prepare(nb *buildNode) {
+	nb.hist = b.getHist()
+	b.buildHistInto(nb.hist, nb.rows)
+	nb.cand = b.findBest(nb)
+}
+
+// prepareChildren computes the children's histograms and split
+// candidates after a split, using the histogram-subtraction trick:
+// only the smaller child is ever accumulated from rows; its sibling is
+// derived as parent − child. The parent's buffer is consumed (reused
+// in place for a subtracted sibling, or returned to the pool). Every
+// branch below depends only on row counts and split-eligibility flags,
+// so the computation — and therefore the model — is identical for any
+// worker count.
+func (b *treeBuilder) prepareChildren(ln, rn *buildNode, parentHist []float64) {
+	needL := b.canSplit(ln.depth, ln.rows, ln.sumH)
+	needR := b.canSplit(rn.depth, rn.rows, rn.sumH)
+	switch {
+	case needL && needR:
+		small, big := ln, rn
+		if len(rn.rows) < len(ln.rows) {
+			small, big = rn, ln
+		}
+		b.prepare(small)
+		b.subtractHist(parentHist, small.hist)
+		big.hist = parentHist
+		big.cand = b.findBest(big)
+	case needL || needR:
+		ch, sib := ln, rn
+		if needR {
+			ch, sib = rn, ln
+		}
+		if len(ch.rows) <= len(sib.rows) {
+			// The needed child is the smaller: accumulate it directly.
+			b.prepare(ch)
+			b.putHist(parentHist)
+		} else {
+			// The needed child is the larger: accumulate its small
+			// sibling into a scratch histogram and subtract.
+			tmp := b.getHist()
+			b.buildHistInto(tmp, sib.rows)
+			b.subtractHist(parentHist, tmp)
+			b.putHist(tmp)
+			ch.hist = parentHist
+			ch.cand = b.findBest(ch)
+		}
+	default:
+		b.putHist(parentHist)
 	}
+}
+
+// rootSums accumulates the gradient totals over the tree's rows with
+// the fixed chunking shared by all reductions.
+func (b *treeBuilder) rootSums(rows []int32) (sumG, sumH float64) {
+	n := len(rows)
+	R := rowChunks(n)
+	if R == 1 {
+		for _, r := range rows {
+			sumG += b.grad[r]
+			sumH += b.hess[r]
+		}
+		return sumG, sumH
+	}
+	partials := b.partials[:2*R]
+	parallelFor(b.workers, R, func(r int) {
+		lo, hi := chunkRange(n, R, r)
+		var g, h float64
+		for _, row := range rows[lo:hi] {
+			g += b.grad[row]
+			h += b.hess[row]
+		}
+		partials[2*r] = g
+		partials[2*r+1] = h
+	})
+	for r := 0; r < R; r++ {
+		sumG += partials[2*r]
+		sumH += partials[2*r+1]
+	}
+	return sumG, sumH
+}
+
+// accumCol adds the gradient statistics of rows to feature j's
+// histogram (g and h each stride long).
+func (b *treeBuilder) accumCol(g, h []float64, j int, rows []int32) {
+	for _, r := range rows {
+		bin := b.bins[int(r)*b.nfeat+j]
+		g[bin] += b.grad[r]
+		h[bin] += b.hess[r]
+	}
+}
+
+// buildHistInto accumulates the node histogram for every eligible
+// feature, parallel across features and — for large nodes — across
+// fixed row chunks whose partial histograms merge in chunk order.
+// The chunked/unchunked choice depends only on the row count, never
+// on the worker count: the same association of floating-point sums
+// must be used for every Workers value (Workers=1 executes the
+// chunked merge inline in identical order).
+func (b *treeBuilder) buildHistInto(hist []float64, rows []int32) {
+	nc := len(b.cols)
+	w := b.workers
+	if len(rows)*nc < 4096 {
+		w = 1 // tiny node: goroutine overhead would dominate
+	}
+	R := rowChunks(len(rows))
+	if R == 1 {
+		parallelFor(w, nc, func(ci int) {
+			base := ci * 2 * b.stride
+			g := hist[base : base+b.stride]
+			h := hist[base+b.stride : base+2*b.stride]
+			for k := range g {
+				g[k], h[k] = 0, 0
+			}
+			b.accumCol(g, h, b.cols[ci], rows)
+		})
+		return
+	}
+	scratch := b.getColBufs(nc * R)
+	parallelFor(w, nc*R, func(task int) {
+		ci, r := task/R, task%R
+		buf := scratch[task]
+		for k := range buf {
+			buf[k] = 0
+		}
+		lo, hi := chunkRange(len(rows), R, r)
+		b.accumCol(buf[:b.stride], buf[b.stride:], b.cols[ci], rows[lo:hi])
+	})
+	parallelFor(w, nc, func(ci int) {
+		base := ci * 2 * b.stride
+		g := hist[base : base+b.stride]
+		h := hist[base+b.stride : base+2*b.stride]
+		for k := range g {
+			g[k], h[k] = 0, 0
+		}
+		for r := 0; r < R; r++ {
+			buf := scratch[ci*R+r]
+			for k := 0; k < b.stride; k++ {
+				g[k] += buf[k]
+				h[k] += buf[b.stride+k]
+			}
+		}
+	})
+	b.putColBufs(scratch)
+}
+
+// histScanWorkers bounds the workers used for the cheap O(cols·bins)
+// histogram passes (subtraction, split scan): inline below ~16k
+// touched floats, where goroutine setup would cost more than the
+// scan. Execution-only — the per-feature decomposition is unchanged.
+func (b *treeBuilder) histScanWorkers(nc int) int {
+	if nc*b.stride < 16384 {
+		return 1
+	}
+	return min(b.workers, nc)
+}
+
+// subtractHist derives a sibling histogram in place: parent −= child.
+func (b *treeBuilder) subtractHist(parent, child []float64) {
+	nc := len(b.cols)
+	parallelFor(b.histScanWorkers(nc), nc, func(ci int) {
+		nbins := b.binner.numBins(b.cols[ci])
+		base := ci * 2 * b.stride
+		for k := 0; k < nbins; k++ {
+			parent[base+k] -= child[base+k]
+			parent[base+b.stride+k] -= child[base+b.stride+k]
+		}
+	})
+}
+
+// findBest scans every eligible feature's histogram for the node's
+// best split, in parallel, then reduces the per-feature candidates in
+// ascending feature order. Ties break to the lowest feature index and,
+// within a feature, the lowest bin (the ascending scan with a strict
+// improvement test keeps the first), so the choice is identical for
+// every worker count.
+func (b *treeBuilder) findBest(nb *buildNode) splitCand {
+	nc := len(b.cols)
 	parentScore := nb.sumG * nb.sumG / (nb.sumH + b.p.Lambda)
-	bestGain := b.p.Gamma // require strictly more than Gamma improvement
-	feat = -1
-	var hist histogram
-	for _, j := range b.cols {
-		nbins := b.binner.numBins(j)
-		if nbins < 2 {
+	parallelFor(b.histScanWorkers(nc), nc, func(ci int) {
+		b.candBuf[ci] = b.scanCol(ci, nb.hist, nb.sumG, nb.sumH, parentScore)
+	})
+	best := splitCand{feat: -1, gain: b.p.Gamma}
+	for _, c := range b.candBuf[:nc] {
+		if c.feat >= 0 && c.gain > best.gain {
+			best = c
+		}
+	}
+	return best
+}
+
+// scanCol finds the best split of one feature: the lowest bin
+// achieving the maximal gain strictly above Gamma, subject to the
+// child-weight floor.
+func (b *treeBuilder) scanCol(ci int, hist []float64, sumG, sumH, parentScore float64) splitCand {
+	j := b.cols[ci]
+	cand := splitCand{feat: -1, gain: b.p.Gamma}
+	nbins := b.binner.numBins(j)
+	if nbins < 2 {
+		return cand
+	}
+	base := ci * 2 * b.stride
+	g := hist[base : base+b.stride]
+	h := hist[base+b.stride : base+2*b.stride]
+	var cg, ch float64
+	for k := 0; k < nbins-1; k++ {
+		cg += g[k]
+		ch += h[k]
+		if ch < b.p.MinChildWeight || sumH-ch < b.p.MinChildWeight {
 			continue
 		}
-		for k := 0; k < nbins; k++ {
-			hist.g[k] = 0
-			hist.h[k] = 0
-		}
-		for _, r := range nb.rows {
-			bin := b.bins[int(r)*b.nfeat+j]
-			hist.g[bin] += b.grad[r]
-			hist.h[bin] += b.hess[r]
-		}
-		var cg, ch float64
-		for k := 0; k < nbins-1; k++ {
-			cg += hist.g[k]
-			ch += hist.h[k]
-			if ch < b.p.MinChildWeight || nb.sumH-ch < b.p.MinChildWeight {
-				continue
-			}
-			left := cg * cg / (ch + b.p.Lambda)
-			right := (nb.sumG - cg) * (nb.sumG - cg) / (nb.sumH - ch + b.p.Lambda)
-			g := 0.5 * (left + right - parentScore)
-			if g > bestGain {
-				bestGain = g
-				feat, bin = j, k
-				gL, hL = cg, ch
-			}
+		left := cg * cg / (ch + b.p.Lambda)
+		right := (sumG - cg) * (sumG - cg) / (sumH - ch + b.p.Lambda)
+		gn := 0.5 * (left + right - parentScore)
+		if gn > cand.gain {
+			cand = splitCand{feat: j, bin: k, gain: gn, gL: cg, hL: ch}
 		}
 	}
-	if feat < 0 {
-		return -1, 0, 0, 0, 0
-	}
-	return feat, bin, bestGain, gL, hL
+	return cand
 }
 
-// partition splits rows by the chosen (feature, bin) boundary.
+// partition splits rows by the chosen (feature, bin) boundary,
+// preserving row order within each side.
 func (b *treeBuilder) partition(rows []int32, feat, bin int) (left, right []int32) {
 	for _, r := range rows {
 		if int(b.bins[int(r)*b.nfeat+feat]) <= bin {

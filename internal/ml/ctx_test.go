@@ -1,0 +1,94 @@
+package ml
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"surf/internal/gbt"
+)
+
+// TestGridSearchCVContextCancelsMidFit pins the mid-fit cancellation
+// path: one slow-training grid combination (a huge tree budget on a
+// sizeable matrix), cancelled shortly after the search starts, must
+// return context.Canceled long before the combination's fit could
+// finish — the ctx is observed inside the fold's Fit, not just
+// between grid combos.
+func TestGridSearchCVContextCancelsMidFit(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 1))
+	X, y := makeData(rng, 5000)
+	base := gbt.DefaultParams()
+	grid := Grid{"n_estimators": {1_000_000}} // hours of boosting, uncancelled
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, err := GridSearchCVContext(ctx, GBTFactory(base), grid, X, y, 3, rng)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled GridSearchCVContext returned %v, want context.Canceled", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Errorf("cancelled GridSearchCVContext took %s, want prompt mid-fit return", elapsed)
+	}
+}
+
+func TestCrossValRMSEContextPreCancelled(t *testing.T) {
+	rng := rand.New(rand.NewPCG(32, 1))
+	X, y := makeData(rng, 60)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := CrossValRMSEContext(ctx, GBTFactory(gbt.DefaultParams()), nil, X, y, 3, rng)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled CrossValRMSEContext returned %v, want context.Canceled", err)
+	}
+}
+
+// TestGBTRegressorFitContext checks the RegressorContext adapter:
+// FitContext trains under ctx, and Fit remains the Background alias.
+func TestGBTRegressorFitContext(t *testing.T) {
+	rng := rand.New(rand.NewPCG(33, 1))
+	X, y := makeData(rng, 200)
+	p := gbt.DefaultParams()
+	p.NumTrees = 10
+	r := &GBTRegressor{Params: p}
+	if _, ok := any(r).(RegressorContext); !ok {
+		t.Fatal("GBTRegressor must implement RegressorContext")
+	}
+	if err := r.FitContext(context.Background(), X, y); err != nil {
+		t.Fatal(err)
+	}
+	if r.Model() == nil {
+		t.Fatal("FitContext did not retain the model")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r2 := &GBTRegressor{Params: p}
+	if err := r2.FitContext(ctx, X, y); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled FitContext returned %v, want context.Canceled", err)
+	}
+}
+
+// TestPredictBeforeFitPanicsWithErrUnfit pins the ErrUnfit sentinel:
+// the unfitted-Predict panic carries an error wrapping it, so callers
+// recover and errors.Is instead of matching a panic string.
+func TestPredictBeforeFitPanicsWithErrUnfit(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		err, ok := r.(error)
+		if !ok {
+			t.Fatalf("panic value %v (%T) is not an error", r, r)
+		}
+		if !errors.Is(err, ErrUnfit) {
+			t.Fatalf("panic error %v does not wrap ErrUnfit", err)
+		}
+	}()
+	(&GBTRegressor{Params: gbt.DefaultParams()}).Predict([][]float64{{1, 2}})
+}

@@ -1,14 +1,16 @@
 package ml
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"surf/internal/gbt"
 )
 
-// GBTRegressor adapts gbt.Model to the Regressor interface so the
-// boosted-tree surrogate can flow through KFold/GridSearchCV.
+// GBTRegressor adapts gbt.Model to the Regressor interface (and its
+// ctx-aware RegressorContext extension) so the boosted-tree surrogate
+// can flow through KFold/GridSearchCV.
 type GBTRegressor struct {
 	Params gbt.Params
 	model  *gbt.Model
@@ -16,7 +18,14 @@ type GBTRegressor struct {
 
 // Fit trains the ensemble.
 func (r *GBTRegressor) Fit(X [][]float64, y []float64) error {
-	m, err := gbt.Train(r.Params, X, y, nil, nil)
+	return r.FitContext(context.Background(), X, y)
+}
+
+// FitContext trains the ensemble under ctx: cancellation is observed
+// within one boosting round (see gbt.TrainContext), which is what
+// makes a whole GridSearchCVContext run interruptible mid-fit.
+func (r *GBTRegressor) FitContext(ctx context.Context, X [][]float64, y []float64) error {
+	m, err := gbt.TrainContext(ctx, r.Params, X, y, nil, nil)
 	if err != nil {
 		return err
 	}
@@ -24,13 +33,14 @@ func (r *GBTRegressor) Fit(X [][]float64, y []float64) error {
 	return nil
 }
 
-// Predict returns ensemble predictions; it panics if Fit has not run.
-// The single output allocation the interface requires is the only one:
-// predictions are written through the model's allocation-free
-// PredictInto.
+// Predict returns ensemble predictions; it panics with an error
+// wrapping ErrUnfit if Fit has not run (the Regressor interface
+// leaves no error return). The single output allocation the interface
+// requires is the only one: predictions are written through the
+// model's allocation-free PredictInto.
 func (r *GBTRegressor) Predict(X [][]float64) []float64 {
 	if r.model == nil {
-		panic("ml: GBTRegressor.Predict before Fit")
+		panic(fmt.Errorf("ml: GBTRegressor.Predict before Fit: %w", ErrUnfit))
 	}
 	out := make([]float64, len(X))
 	r.model.PredictInto(X, out)
@@ -92,5 +102,8 @@ func GBTFactory(base gbt.Params) Factory {
 	}
 }
 
-// ErrUnfit reports use of an unfitted estimator.
+// ErrUnfit reports use of an unfitted estimator. Prediction paths
+// that cannot return an error (the Regressor interface) panic with an
+// error wrapping it, so callers can recover and errors.Is against the
+// sentinel instead of matching ad-hoc panic strings.
 var ErrUnfit = errors.New("ml: estimator not fitted")

@@ -23,6 +23,28 @@ type Regressor interface {
 	Predict(X [][]float64) []float64
 }
 
+// RegressorContext is implemented by Regressors whose fit observes a
+// context, letting cross validation and grid search cancel a training
+// run mid-fit instead of only between fits.
+type RegressorContext interface {
+	Regressor
+	FitContext(ctx context.Context, X [][]float64, y []float64) error
+}
+
+// FitRegressor routes ctx into the model's fit when it supports it;
+// otherwise it degrades to a pre-fit cancellation check around the
+// plain Fit. It is the one ctx-routing path shared by cross
+// validation, grid search and callers fitting a winning model.
+func FitRegressor(ctx context.Context, r Regressor, X [][]float64, y []float64) error {
+	if rc, ok := r.(RegressorContext); ok {
+		return rc.FitContext(ctx, X, y)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return r.Fit(X, y)
+}
+
 // Factory builds a fresh Regressor from a named hyper-parameter
 // assignment; used by GridSearchCV.
 type Factory func(params map[string]float64) (Regressor, error)
@@ -89,6 +111,13 @@ func KFold(n, k int, rng *rand.Rand) ([][2][]int, error) {
 // CrossValRMSE trains a fresh model per fold and returns the mean and
 // standard deviation of the per-fold test RMSE.
 func CrossValRMSE(factory Factory, params map[string]float64, X [][]float64, y []float64, k int, rng *rand.Rand) (meanRMSE, stdRMSE float64, err error) {
+	return CrossValRMSEContext(context.Background(), factory, params, X, y, k, rng)
+}
+
+// CrossValRMSEContext is CrossValRMSE with cancellation: ctx is routed
+// into every fold's fit (mid-fit for RegressorContext models, between
+// fits otherwise).
+func CrossValRMSEContext(ctx context.Context, factory Factory, params map[string]float64, X [][]float64, y []float64, k int, rng *rand.Rand) (meanRMSE, stdRMSE float64, err error) {
 	folds, err := KFold(len(X), k, rng)
 	if err != nil {
 		return 0, 0, err
@@ -100,7 +129,7 @@ func CrossValRMSE(factory Factory, params map[string]float64, X [][]float64, y [
 		if err != nil {
 			return 0, 0, err
 		}
-		if err := model.Fit(gather(X, trainIdx), gatherY(y, trainIdx)); err != nil {
+		if err := FitRegressor(ctx, model, gather(X, trainIdx), gatherY(y, trainIdx)); err != nil {
 			return 0, 0, err
 		}
 		pred := model.Predict(gather(X, testIdx))
@@ -158,8 +187,11 @@ func GridSearchCV(factory Factory, grid Grid, X [][]float64, y []float64, k int,
 	return GridSearchCVContext(context.Background(), factory, grid, X, y, k, rng)
 }
 
-// GridSearchCVContext is GridSearchCV with cancellation, checked
-// before each grid combination's cross-validation round.
+// GridSearchCVContext is GridSearchCV with cancellation. The context
+// is checked before each grid combination and routed into every
+// fold's fit, so a model implementing RegressorContext (the boosted
+// trees do) abandons a slow combination mid-fit — within one boosting
+// round — rather than running it to completion.
 func GridSearchCVContext(ctx context.Context, factory Factory, grid Grid, X [][]float64, y []float64, k int, rng *rand.Rand) (best SearchResult, all []SearchResult, err error) {
 	combos := grid.Combinations()
 	if len(combos) == 0 {
@@ -170,7 +202,7 @@ func GridSearchCVContext(ctx context.Context, factory Factory, grid Grid, X [][]
 		if err := ctx.Err(); err != nil {
 			return SearchResult{}, nil, err
 		}
-		mean, std, err := CrossValRMSE(factory, params, X, y, k, rng)
+		mean, std, err := CrossValRMSEContext(ctx, factory, params, X, y, k, rng)
 		if err != nil {
 			return SearchResult{}, nil, err
 		}

@@ -181,6 +181,10 @@ type TrainOptions struct {
 	CVFolds int
 	// Seed drives subsampling and CV shuffling.
 	Seed uint64
+	// Workers bounds the goroutines training may use (0 means one per
+	// available CPU). Purely an execution knob: the trained model is
+	// bit-identical for every value.
+	Workers int
 }
 
 func (o TrainOptions) params() gbt.Params {
@@ -199,6 +203,9 @@ func (o TrainOptions) params() gbt.Params {
 	}
 	if o.Seed != 0 {
 		p.Seed = o.Seed
+	}
+	if o.Workers > 0 {
+		p.Workers = o.Workers
 	}
 	return p
 }
