@@ -141,20 +141,58 @@ func (e *Engine) LoadSurrogateContext(ctx context.Context, r io.Reader) error {
 	return nil
 }
 
-// loadArtifact decodes a versioned engine artifact and validates it
-// against the engine's spec.
-func (e *Engine) loadArtifact(br *bufio.Reader) (*snapshot, error) {
+// decodeArtifactEnvelope reads the versioned-artifact header and gob
+// envelope off br, shared by LoadSurrogate and ReadSurrogateInfo.
+func decodeArtifactEnvelope(br *bufio.Reader) (artifactEnvelope, error) {
 	var version int
 	if _, err := fmt.Fscanf(br, artifactMagic+" %d\n", &version); err != nil {
-		return nil, fmt.Errorf("%w: bad header: %v", ErrBadArtifact, err)
+		return artifactEnvelope{}, fmt.Errorf("%w: bad header: %v", ErrBadArtifact, err)
 	}
 	if version < 1 || version > artifactVersion {
-		return nil, fmt.Errorf("%w: format version %d (this build reads up to %d)",
+		return artifactEnvelope{}, fmt.Errorf("%w: format version %d (this build reads up to %d)",
 			ErrBadArtifact, version, artifactVersion)
 	}
 	var env artifactEnvelope
 	if err := gob.NewDecoder(br).Decode(&env); err != nil {
-		return nil, fmt.Errorf("%w: decode: %v", ErrBadArtifact, err)
+		return artifactEnvelope{}, fmt.Errorf("%w: decode: %v", ErrBadArtifact, err)
+	}
+	return env, nil
+}
+
+// ReadSurrogateInfo reads the provenance metadata of a versioned
+// engine artifact (written by SaveSurrogate) without loading the model
+// into an engine: the statistic, filter columns, training domain and
+// hyper-parameters the artifact declares. Deployment layers use it to
+// validate an artifact against a serving spec — and to report model
+// metadata — before paying for a full load; the ensemble bytes are not
+// validated here (LoadSurrogate re-validates them completely). Legacy
+// surfmodel artifacts carry no metadata and are rejected with
+// ErrBadArtifact.
+func ReadSurrogateInfo(r io.Reader) (SurrogateInfo, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(len(artifactMagic))
+	if err != nil {
+		return SurrogateInfo{}, fmt.Errorf("%w: reading header: %v", ErrBadArtifact, err)
+	}
+	if !bytes.HasPrefix(magic, []byte(artifactMagic)) {
+		if bytes.HasPrefix(magic, []byte(legacyMagic)) {
+			return SurrogateInfo{}, fmt.Errorf("%w: legacy %s artifact carries no metadata", ErrBadArtifact, legacyMagic)
+		}
+		return SurrogateInfo{}, fmt.Errorf("%w: unrecognized header %q", ErrBadArtifact, magic)
+	}
+	env, err := decodeArtifactEnvelope(br)
+	if err != nil {
+		return SurrogateInfo{}, err
+	}
+	return env.Info, nil
+}
+
+// loadArtifact decodes a versioned engine artifact and validates it
+// against the engine's spec.
+func (e *Engine) loadArtifact(br *bufio.Reader) (*snapshot, error) {
+	env, err := decodeArtifactEnvelope(br)
+	if err != nil {
+		return nil, err
 	}
 	if err := e.checkArtifactSpec(env); err != nil {
 		return nil, err

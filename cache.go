@@ -137,6 +137,24 @@ func copyResult(r *Result) *Result {
 // form, which round-trips float64 uniquely, so distinct values never
 // collide.
 func (q Query) cacheKey(dims int, snap *snapshot) string {
+	return fmt.Sprintf("%d|%s", snap.generation(), q.CacheKey(dims))
+}
+
+// cacheKey is Query.cacheKey for top-k queries.
+func (q TopKQuery) cacheKey(dims int, snap *snapshot) string {
+	return fmt.Sprintf("%d|%s", snap.generation(), q.CacheKey(dims))
+}
+
+// CacheKey returns a canonical fingerprint of the query's effective
+// execution parameters for an engine of the given dimensionality: two
+// queries get the same key exactly when they are guaranteed to produce
+// the same Result against the same model and data. It is the
+// scope-free form of the engine's internal result-cache key — external
+// caches (a multi-dataset registry caching sharded merged results, a
+// fronting proxy) combine it with their own scope, typically the
+// dataset name and artifact version, and must invalidate that scope
+// whenever the underlying model or data changes.
+func (q Query) CacheKey(dims int) string {
 	kde := 0
 	if q.UseKDE {
 		kde = q.KDESample
@@ -144,8 +162,8 @@ func (q Query) cacheKey(dims int, snap *snapshot) string {
 			kde = defaultKDESample
 		}
 	}
-	return fmt.Sprintf("find|%d|%g|%t|%g|%d|%t|%t|%d|%s|%g|%g|%t|%t",
-		snap.generation(), q.Threshold, q.Above, withDefault(q.C, core.DefaultC),
+	return fmt.Sprintf("find|%g|%t|%g|%d|%t|%t|%d|%s|%g|%g|%t|%t",
+		q.Threshold, q.Above, withDefault(q.C, core.DefaultC),
 		withIntDefault(q.MaxRegions, core.DefaultMaxRegions), q.UseTrueFunction,
 		q.UseKDE, kde, canonicalGSO(dims, q.Glowworms, q.Iterations, q.Seed),
 		withDefault(q.MinSideFrac, core.DefaultMinSideFrac),
@@ -153,10 +171,10 @@ func (q Query) cacheKey(dims int, snap *snapshot) string {
 		q.SkipVerify, q.ClusterExtents)
 }
 
-// cacheKey is Query.cacheKey for top-k queries.
-func (q TopKQuery) cacheKey(dims int, snap *snapshot) string {
-	return fmt.Sprintf("topk|%d|%d|%t|%g|%t|%s|%g|%g|%t",
-		snap.generation(), q.K, q.Largest, withDefault(q.C, core.DefaultC), q.UseTrueFunction,
+// CacheKey is Query.CacheKey for top-k queries.
+func (q TopKQuery) CacheKey(dims int) string {
+	return fmt.Sprintf("topk|%d|%t|%g|%t|%s|%g|%g|%t",
+		q.K, q.Largest, withDefault(q.C, core.DefaultC), q.UseTrueFunction,
 		canonicalGSO(dims, q.Glowworms, q.Iterations, q.Seed),
 		withDefault(q.MinSideFrac, core.DefaultMinSideFrac),
 		withDefault(q.MaxSideFrac, core.DefaultMaxSideFrac),

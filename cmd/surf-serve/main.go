@@ -16,12 +16,35 @@
 // With neither, only use_true_function queries can be served; the
 // rest answer 409 until a model arrives.
 //
+// With -registry config.json the process serves a whole catalog of
+// datasets instead of one: the config lists named model specs
+// (dataset CSV, filter columns, statistic, artifact or startup
+// training budget, optional shard count), queries route by their
+// "dataset" field, and the /v1/models admin API registers, hot-swaps
+// and removes entries at runtime. The config's JSON form is
+//
+//	{
+//	  "capacity": 4,                // loaded-entry LRU bound, 0 = unbounded
+//	  "default": "taxi",            // dataset for requests naming none
+//	  "models": [
+//	    {"name": "taxi", "data": "taxi.csv", "filter_columns": ["lon", "lat"],
+//	     "statistic": "count", "artifact": "taxi.surf", "shards": 4},
+//	    {"name": "air", "data": "air.csv", "filter_columns": ["t", "h"],
+//	     "statistic": "mean", "target_column": "pm25", "train": 2000}
+//	  ]
+//	}
+//
+// with each model entry holding a registry Spec. Entries load lazily
+// on first use; -capacity and -default override the config.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM, draining
 // in-flight queries and streams.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -31,6 +54,7 @@ import (
 
 	surf "surf"
 	"surf/internal/cli"
+	"surf/registry"
 	"surf/server"
 )
 
@@ -45,6 +69,9 @@ func main() {
 	flag.Uint64Var(&o.seed, "seed", 1, "seed for -train workload generation")
 	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
 	flag.IntVar(&o.cache, "cache", -1, "result cache entries (-1 = engine default, 0 = disable)")
+	flag.StringVar(&o.registryPath, "registry", "", "multi-dataset registry config JSON (exclusive with -data)")
+	flag.IntVar(&o.capacity, "capacity", 0, "override the registry config's loaded-entry capacity")
+	flag.StringVar(&o.defaultDataset, "default", "", "override the registry config's default dataset")
 	flag.Parse()
 	ctx, stop := cli.SignalContext()
 	defer stop()
@@ -60,12 +87,35 @@ type serveOpts struct {
 	seed                                       uint64
 	addr                                       string
 	cache                                      int
+	registryPath, defaultDataset               string
+	capacity                                   int
 }
 
-// run builds the engine and serves until ctx is cancelled. onReady,
-// when non-nil, receives the bound address once the listener is up
-// (tests use it to learn the port behind ":0").
+// registryConfig is the -registry file: the catalog served at startup.
+type registryConfig struct {
+	// Capacity bounds how many entries stay loaded at once (0 =
+	// unbounded); entries above it are evicted least-recently-used,
+	// never while serving a query.
+	Capacity int `json:"capacity,omitempty"`
+	// Default is the dataset used by requests that name none. A
+	// single-model config defaults to that model.
+	Default string        `json:"default,omitempty"`
+	Models  []modelConfig `json:"models"`
+}
+
+// modelConfig is one named registry entry.
+type modelConfig struct {
+	Name string `json:"name"`
+	registry.Spec
+}
+
+// run builds the engine (or registry) and serves until ctx is
+// cancelled. onReady, when non-nil, receives the bound address once
+// the listener is up (tests use it to learn the port behind ":0").
 func run(ctx context.Context, o serveOpts, onReady func(addr string)) error {
+	if o.registryPath != "" {
+		return runRegistry(ctx, o, onReady)
+	}
 	if o.dataPath == "" || o.filters == "" {
 		return fmt.Errorf("-data and -filters are required")
 	}
@@ -138,6 +188,57 @@ func run(ctx context.Context, o serveOpts, onReady func(addr string)) error {
 		onReady(l.Addr().String())
 	}
 	err = server.New(eng).Serve(ctx, l)
+	if err == nil {
+		fmt.Println("shut down cleanly")
+	}
+	return err
+}
+
+// runRegistry serves a multi-dataset registry from the -registry
+// config. Every spec is validated at startup (missing files and
+// artifact/spec mismatches fail fast); engines load lazily on first
+// request.
+func runRegistry(ctx context.Context, o serveOpts, onReady func(addr string)) error {
+	if o.dataPath != "" || o.filters != "" || o.modelPath != "" || o.train > 0 {
+		return fmt.Errorf("-registry is exclusive with -data/-filters/-model/-train")
+	}
+	raw, err := os.ReadFile(o.registryPath)
+	if err != nil {
+		return err
+	}
+	var cfg registryConfig
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return fmt.Errorf("registry config %s: %v", o.registryPath, err)
+	}
+	if len(cfg.Models) == 0 {
+		return fmt.Errorf("registry config %s: no models", o.registryPath)
+	}
+	if o.capacity > 0 {
+		cfg.Capacity = o.capacity
+	}
+	if o.defaultDataset != "" {
+		cfg.Default = o.defaultDataset
+	}
+	if cfg.Default == "" && len(cfg.Models) == 1 {
+		cfg.Default = cfg.Models[0].Name
+	}
+	reg := registry.New(cfg.Capacity)
+	for _, m := range cfg.Models {
+		if _, err := reg.Register(m.Name, m.Spec); err != nil {
+			return fmt.Errorf("model %q: %w", m.Name, err)
+		}
+	}
+	l, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("listening on %s (%d datasets, default %q)\n", l.Addr(), len(cfg.Models), cfg.Default)
+	if onReady != nil {
+		onReady(l.Addr().String())
+	}
+	err = server.NewRegistry(reg, cfg.Default).Serve(ctx, l)
 	if err == nil {
 		fmt.Println("shut down cleanly")
 	}

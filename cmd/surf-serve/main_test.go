@@ -4,13 +4,16 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 	"time"
 
 	surf "surf"
+	"surf/registry"
 )
 
 // writeDataset creates a small CSV dataset for CLI tests.
@@ -52,6 +55,26 @@ func TestRunValidation(t *testing.T) {
 	}
 	if err := run(ctx, serveOpts{dataPath: filepath.Join(t.TempDir(), "missing.csv"), filters: "x", stat: "count"}, nil); err == nil {
 		t.Error("expected error for missing dataset")
+	}
+	if err := run(ctx, serveOpts{registryPath: "cfg.json", dataPath: "x.csv"}, nil); err == nil {
+		t.Error("expected error for -registry with -data")
+	}
+	if err := run(ctx, serveOpts{registryPath: filepath.Join(t.TempDir(), "missing.json")}, nil); err == nil {
+		t.Error("expected error for missing registry config")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"models": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ctx, serveOpts{registryPath: empty}, nil); err == nil {
+		t.Error("expected error for registry config with no models")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"models": [{"name": "a", "bogus": 1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ctx, serveOpts{registryPath: bad}, nil); err == nil {
+		t.Error("expected error for unknown registry config field")
 	}
 }
 
@@ -206,5 +229,193 @@ func TestServeWithArtifact(t *testing.T) {
 	}, nil)
 	if err == nil {
 		t.Fatal("expected artifact/spec mismatch error")
+	}
+}
+
+// trainTestArtifact trains a Count surrogate over the CSV and saves it
+// as a surf-train-style artifact.
+func trainTestArtifact(t *testing.T, data, out string) {
+	t.Helper()
+	f, err := os.Open(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := surf.ReadCSVDataset(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := surf.Open(ds, surf.Config{FilterColumns: []string{"x", "y"}, Statistic: surf.Count})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := eng.GenerateWorkload(200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.TrainSurrogate(wl, surf.TrainOptions{Trees: 10}); err != nil {
+		t.Fatal(err)
+	}
+	mf, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	if err := eng.SaveSurrogate(mf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeRegistryEndToEnd boots surf-serve -registry over a
+// two-model catalog (one sharded), drives cross-dataset routing, the
+// admin API and a live hot-swap, then shuts down via cancellation.
+func TestServeRegistryEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	dataOne := writeDataset(t, dir)
+	twoDir := filepath.Join(dir, "two")
+	if err := os.MkdirAll(twoDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	dataTwo := writeDataset(t, twoDir)
+	model := filepath.Join(dir, "model.surf")
+	trainTestArtifact(t, dataOne, model)
+
+	cfg := registryConfig{
+		Capacity: 2,
+		Default:  "one",
+		Models: []modelConfig{
+			{Name: "one", Spec: registry.Spec{
+				Data: dataOne, FilterColumns: []string{"x", "y"},
+				Statistic: "count", Artifact: model, Shards: 2,
+			}},
+			{Name: "two", Spec: registry.Spec{
+				Data: dataTwo, FilterColumns: []string{"x", "y"},
+				Statistic: "count", Artifact: model,
+			}},
+		},
+	}
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "registry.json")
+	if err := os.WriteFile(cfgPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, serveOpts{registryPath: cfgPath, addr: "127.0.0.1:0"},
+			func(addr string) { ready <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Default string `json:"default_dataset"`
+		Models  []struct {
+			Name string `json:"name"`
+		} `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if listing.Default != "one" || len(listing.Models) != 2 {
+		t.Fatalf("models listing: %+v", listing)
+	}
+
+	find := func(dataset string) int {
+		body := map[string]any{
+			"threshold": 10.0, "above": true, "seed": 2,
+			"glowworms": 20, "iterations": 10,
+		}
+		if dataset != "" {
+			body["dataset"] = dataset
+		}
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+"/v1/find", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	if got := find(""); got != http.StatusOK { // default → "one", the sharded entry
+		t.Fatalf("default-dataset find: status %d", got)
+	}
+	if got := find("two"); got != http.StatusOK {
+		t.Fatalf("routed find: status %d", got)
+	}
+	if got := find("nope"); got != http.StatusNotFound {
+		t.Fatalf("unknown-dataset find: status %d, want 404", got)
+	}
+
+	// Live hot-swap: PUT carrying only the artifact bumps the version.
+	swap, err := http.NewRequest(http.MethodPut, base+"/v1/models/two",
+		bytes.NewReader([]byte(`{"artifact": `+strconv.Quote(model)+`}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(swap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var swapped struct {
+		Version int `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&swapped); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || swapped.Version != 2 {
+		t.Fatalf("hot swap: status %d version %d", resp.StatusCode, swapped.Version)
+	}
+	if got := find("two"); got != http.StatusOK {
+		t.Fatalf("find after swap: status %d", got)
+	}
+
+	del, err := http.NewRequest(http.MethodDelete, base+"/v1/models/two", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	if got := find("two"); got != http.StatusNotFound {
+		t.Fatalf("find after delete: status %d, want 404", got)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after cancellation", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return after cancellation")
 	}
 }

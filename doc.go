@@ -148,6 +148,16 @@
 // forms; non-finite floats encode as the strings "NaN", "+Inf" and
 // "-Inf". The surf-serve command is its CLI front-end.
 //
+// Package surf/registry scales that server to many datasets: a
+// concurrency-safe catalog of named, versioned engine entries that
+// load lazily, evict least-recently-used under a capacity bound
+// (never while serving a query) and hot-swap atomically — in-flight
+// queries finish against the engine set they pinned. Entries may
+// shard execution across contiguous row ranges, with per-shard Find
+// results merged through the same IoU clustering that dedupes a
+// single swarm. The server routes queries by a "dataset" field and
+// manages entries through the PUT/DELETE /v1/models admin API.
+//
 // Engines also keep a small LRU result cache over canonicalized
 // queries (WithResultCache to resize or disable): a repeated
 // Find/FindTopK against the same surrogate snapshot is answered

@@ -148,6 +148,21 @@ func (d *Dataset) Sample(stride, offset int) *Dataset {
 	return out
 }
 
+// Slice returns a dataset view of rows [lo, hi). The view shares the
+// receiver's column storage — no rows are copied — so a large dataset
+// can be split into row-range shards at negligible memory cost. Both
+// dataset and view are immutable, making the aliasing safe.
+func (d *Dataset) Slice(lo, hi int) (*Dataset, error) {
+	if lo < 0 || hi < lo || hi > d.n {
+		return nil, fmt.Errorf("dataset: slice [%d, %d) of %d rows", lo, hi, d.n)
+	}
+	cols := make([][]float64, len(d.cols))
+	for c := range cols {
+		cols[c] = d.cols[c][lo:hi:hi]
+	}
+	return New(append([]string(nil), d.names...), cols)
+}
+
 // Select returns a new dataset holding only the rows whose index is in
 // keep (order preserved, duplicates allowed).
 func (d *Dataset) Select(keep []int) *Dataset {

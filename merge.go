@@ -1,0 +1,43 @@
+package surf
+
+import (
+	"surf/internal/core"
+	"surf/internal/geom"
+)
+
+// MergeRegions reduces regions mined by several independent runs over
+// the same domain — typically one Find per data shard of a partitioned
+// dataset — to one deduplicated, capped list, applying the same greedy
+// IoU clustering the engine uses to deduplicate a single swarm's
+// converged particles.
+//
+// Regions are taken in the given order, which callers establish as the
+// rank order (best first: concatenate the per-run lists and sort by
+// Score for threshold queries, or by Estimate for top-k). A region
+// whose box overlaps an already-accepted region with IoU >= dedupeIoU
+// merges into it, adding its Worms count; the accepted list caps at
+// maxRegions. dedupeIoU 0 applies the engine default (0.3), maxRegions
+// 0 the engine default (16). Accepted regions are returned exactly as
+// given — no re-evaluation — so merging identical ranked inputs yields
+// the identical output, the property the sharded-execution
+// differential tests pin.
+func MergeRegions(regions []Region, dedupeIoU float64, maxRegions int) []Region {
+	cands := make([]core.Region, len(regions))
+	for i, r := range regions {
+		cands[i] = core.Region{
+			Rect:          geom.Rect{Min: r.Min, Max: r.Max},
+			Score:         r.Score,
+			Estimate:      r.Estimate,
+			Worms:         r.Worms,
+			TrueValue:     r.TrueValue,
+			Verified:      r.Verified,
+			SatisfiesTrue: r.Satisfies,
+		}
+	}
+	merged := core.MergeRankedRegions(cands, dedupeIoU, maxRegions)
+	out := make([]Region, len(merged))
+	for i, r := range merged {
+		out[i] = regionFromCore(r)
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package registry
+
+import (
+	"container/list"
+	"sync"
+
+	surf "surf"
+)
+
+// mergedCacheSize bounds the per-engine-set cache of sharded merged
+// results, mirroring the engine's own result-cache default.
+const mergedCacheSize = 64
+
+// mergedCache is an LRU over sharded merged results, keyed by surf's
+// canonical query fingerprint (surf.Query.CacheKey). Scope comes for
+// free: each engineSet owns one cache and hot swaps replace whole
+// sets, so entries can never outlive the model and data they were
+// computed from. Deep copies go in and come out, matching the engine
+// cache's aliasing contract.
+type mergedCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type mergedEntry struct {
+	key string
+	res *surf.Result
+}
+
+func newMergedCache(capacity int) *mergedCache {
+	return &mergedCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+func (c *mergedCache) get(key string) (*surf.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return copyResult(el.Value.(*mergedEntry).res), true
+}
+
+func (c *mergedCache) put(key string, res *surf.Result) {
+	if res == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*mergedEntry).res = copyResult(res)
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&mergedEntry{key: key, res: copyResult(res)})
+	if c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*mergedEntry).key)
+	}
+}
+
+// copyResult deep-copies a result so cache entries and caller-visible
+// results never share backing arrays.
+func copyResult(r *surf.Result) *surf.Result {
+	out := *r
+	out.Regions = make([]surf.Region, len(r.Regions))
+	for i, reg := range r.Regions {
+		reg.Min = append([]float64(nil), reg.Min...)
+		reg.Max = append([]float64(nil), reg.Max...)
+		out.Regions[i] = reg
+	}
+	return &out
+}

@@ -1,0 +1,135 @@
+package registry
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+
+	surf "surf"
+)
+
+// engineSet is one loaded materialization of a spec: the full-dataset
+// engine plus, for sharded entries, one engine per row-range shard.
+// An engineSet is immutable after buildEngineSet returns — hot swaps
+// replace whole sets, never mutate one — so handles read it without
+// locks, the snapshot discipline the engine itself uses for surrogate
+// swaps.
+type engineSet struct {
+	version int
+	// engine serves unsharded execution and, for sharded entries,
+	// full-dataset verification of merged regions.
+	engine *surf.Engine
+	// shards are the per-row-range engines (nil when unsharded). Each
+	// carries the same surrogate as engine and the full dataset's
+	// domain, so every shard optimizes over the same region space.
+	shards []*surf.Engine
+	rows   int
+	// merged caches sharded merged results. It lives and dies with the
+	// set: a hot swap installs a fresh set with a fresh cache, so a
+	// stale model's merged results can never be served.
+	merged *mergedCache
+}
+
+// buildEngineSet materializes spec: read the CSV, open the full engine
+// (and shard engines over row-range views sharing its columns), then
+// install the surrogate — loaded from the artifact or trained from a
+// generated workload — into every engine, all from one model so the
+// shards and the full engine agree bit-for-bit.
+func buildEngineSet(ctx context.Context, spec Spec, version int) (*engineSet, error) {
+	stat, err := surf.ParseStatistic(spec.Statistic)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	f, err := os.Open(spec.Data)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := surf.ReadCSVDataset(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	cfg := surf.Config{
+		FilterColumns: spec.FilterColumns,
+		Statistic:     stat,
+		TargetColumn:  spec.TargetColumn,
+		UseGridIndex:  spec.UseGridIndex,
+	}
+	full, err := surf.Open(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	set := &engineSet{version: version, engine: full, rows: ds.Len(), merged: newMergedCache(mergedCacheSize)}
+
+	if spec.Shards > 1 {
+		// Every shard gets the full dataset's domain: shards must
+		// optimize over one shared region space or their results could
+		// not be merged (and a shard's own row range would otherwise
+		// shrink its domain).
+		min, max := full.Domain()
+		n := ds.Len()
+		for i := 0; i < spec.Shards; i++ {
+			lo, hi := i*n/spec.Shards, (i+1)*n/spec.Shards
+			sub, err := ds.Slice(lo, hi)
+			if err != nil {
+				return nil, err
+			}
+			se, err := surf.Open(sub, cfg, surf.WithDomain(min, max))
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: %w", i, err)
+			}
+			set.shards = append(set.shards, se)
+		}
+	}
+
+	switch {
+	case spec.Artifact != "":
+		// Read the artifact once and load it into every engine from
+		// memory, so all engines restore the identical model even if
+		// the file changes under us mid-load.
+		raw, err := os.ReadFile(spec.Artifact)
+		if err != nil {
+			return nil, err
+		}
+		if err := set.loadModel(ctx, raw); err != nil {
+			return nil, err
+		}
+	case spec.Train > 0:
+		wl, err := full.GenerateWorkloadContext(ctx, spec.Train, spec.TrainSeed)
+		if err != nil {
+			return nil, err
+		}
+		if err := full.TrainSurrogateContext(ctx, wl, surf.TrainOptions{Seed: spec.TrainSeed}); err != nil {
+			return nil, err
+		}
+		if len(set.shards) > 0 {
+			// Propagate the one trained model to the shards through the
+			// artifact round trip (bit-identical by the artifact tests).
+			var buf bytes.Buffer
+			if err := full.SaveSurrogateContext(ctx, &buf); err != nil {
+				return nil, err
+			}
+			for i, se := range set.shards {
+				if err := se.LoadSurrogateContext(ctx, bytes.NewReader(buf.Bytes())); err != nil {
+					return nil, fmt.Errorf("shard %d: %w", i, err)
+				}
+			}
+		}
+	}
+	return set, nil
+}
+
+// loadModel installs one artifact into the full engine and every
+// shard engine.
+func (s *engineSet) loadModel(ctx context.Context, raw []byte) error {
+	if err := s.engine.LoadSurrogateContext(ctx, bytes.NewReader(raw)); err != nil {
+		return err
+	}
+	for i, se := range s.shards {
+		if err := se.LoadSurrogateContext(ctx, bytes.NewReader(raw)); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}

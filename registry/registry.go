@@ -1,0 +1,440 @@
+package registry
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	surf "surf"
+)
+
+// Sentinel errors. ErrUnknownDataset reports a name with no registered
+// entry (the HTTP layer maps it to 404); ErrBadSpec reports a spec
+// that can never load (400). Artifact/spec mismatches wrap
+// surf.ErrBadArtifact (422).
+var (
+	ErrUnknownDataset = errors.New("registry: unknown dataset")
+	ErrBadSpec        = errors.New("registry: bad model spec")
+)
+
+// Spec describes one registry entry: where the data lives, what the
+// engine computes over it, where its surrogate comes from, and how
+// execution is sharded. Its JSON form is the PUT /v1/models/{name}
+// request body and the surf-serve config-file entry.
+type Spec struct {
+	// Data is the dataset CSV path.
+	Data string `json:"data"`
+	// FilterColumns, Statistic and TargetColumn mirror surf.Config;
+	// Statistic is a name surf.ParseStatistic accepts.
+	FilterColumns []string `json:"filter_columns"`
+	Statistic     string   `json:"statistic"`
+	TargetColumn  string   `json:"target_column,omitempty"`
+	// Artifact is a surrogate artifact path (surf-train / SaveSurrogate
+	// output) loaded into the engines at entry load time. Mutually
+	// exclusive with Train.
+	Artifact string `json:"artifact,omitempty"`
+	// Train, when positive, trains a surrogate at entry load time from
+	// this many generated workload queries (seeded by TrainSeed). The
+	// entry reports the "training" state while it runs.
+	Train     int    `json:"train,omitempty"`
+	TrainSeed uint64 `json:"train_seed,omitempty"`
+	// Shards splits execution across this many contiguous row-range
+	// shards (0 or 1 = unsharded).
+	Shards int `json:"shards,omitempty"`
+	// UseGridIndex builds grid indexes for true-function evaluation.
+	UseGridIndex bool `json:"use_grid_index,omitempty"`
+}
+
+// merge fills s's zero fields from prev — the hot-swap inheritance
+// rule: a Register carrying only the changed fields (typically just a
+// new artifact path) keeps the rest of the running spec. Artifact and
+// Train are the one mutually exclusive pair, so setting either one
+// explicitly drops the other's inherited value.
+func (s Spec) merge(prev Spec) Spec {
+	if s.Data == "" {
+		s.Data = prev.Data
+	}
+	if s.FilterColumns == nil {
+		s.FilterColumns = prev.FilterColumns
+	}
+	if s.Statistic == "" {
+		s.Statistic = prev.Statistic
+	}
+	if s.TargetColumn == "" {
+		s.TargetColumn = prev.TargetColumn
+	}
+	if s.Shards == 0 {
+		s.Shards = prev.Shards
+	}
+	switch {
+	case s.Artifact != "" || s.Train > 0:
+		// Explicit model source; inherit neither.
+	default:
+		s.Artifact, s.Train, s.TrainSeed = prev.Artifact, prev.Train, prev.TrainSeed
+	}
+	return s
+}
+
+// validate rejects specs that can never load, checking the cheap
+// invariants plus the artifact's declared metadata (statistic and
+// filter columns must match the spec) so a bad PUT fails at
+// registration time, not at the first query.
+func (s Spec) validate() error {
+	switch {
+	case s.Data == "":
+		return fmt.Errorf("%w: no dataset path", ErrBadSpec)
+	case len(s.FilterColumns) == 0:
+		return fmt.Errorf("%w: no filter columns", ErrBadSpec)
+	case s.Shards < 0:
+		return fmt.Errorf("%w: %d shards", ErrBadSpec, s.Shards)
+	case s.Train < 0:
+		return fmt.Errorf("%w: train %d queries", ErrBadSpec, s.Train)
+	case s.Artifact != "" && s.Train > 0:
+		return fmt.Errorf("%w: artifact and train are mutually exclusive", ErrBadSpec)
+	}
+	if _, err := surf.ParseStatistic(s.Statistic); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if _, err := os.Stat(s.Data); err != nil {
+		return fmt.Errorf("%w: dataset: %v", ErrBadSpec, err)
+	}
+	if s.Artifact != "" {
+		f, err := os.Open(s.Artifact)
+		if err != nil {
+			return fmt.Errorf("%w: artifact: %v", ErrBadSpec, err)
+		}
+		info, err := surf.ReadSurrogateInfo(f)
+		f.Close()
+		if err != nil {
+			return err // wraps surf.ErrBadArtifact
+		}
+		if info.Statistic != s.Statistic {
+			return fmt.Errorf("%w: artifact trained for statistic %q, spec computes %q",
+				surf.ErrBadArtifact, info.Statistic, s.Statistic)
+		}
+		if len(info.FilterColumns) != len(s.FilterColumns) {
+			return fmt.Errorf("%w: artifact trained over %d filter columns, spec uses %d",
+				surf.ErrBadArtifact, len(info.FilterColumns), len(s.FilterColumns))
+		}
+		for i, c := range s.FilterColumns {
+			if info.FilterColumns[i] != c {
+				return fmt.Errorf("%w: artifact trained over filter columns %v, spec uses %v",
+					surf.ErrBadArtifact, info.FilterColumns, s.FilterColumns)
+			}
+		}
+	}
+	return nil
+}
+
+// entry is one catalog slot. All mutable fields are guarded by the
+// registry mutex; the engineSet a field points to is itself immutable,
+// so a Handle that copied the pointer under the lock reads it freely.
+type entry struct {
+	name    string
+	spec    Spec
+	version int
+	// set is non-nil exactly when the entry is loaded; loading is
+	// non-nil (and closed on completion) while a load is in flight.
+	set     *engineSet
+	loading chan struct{}
+	// training marks the in-flight load as a startup training run.
+	training bool
+	loadErr  error
+	// evicted distinguishes "never loaded" from "loaded once, evicted
+	// under capacity pressure" in status reports.
+	evicted bool
+	// inflight counts unreleased Handles; eviction skips busy entries.
+	inflight int
+	lruEl    *list.Element
+}
+
+// state reports the entry's lifecycle state for status listings.
+func (e *entry) state() string {
+	switch {
+	case e.set != nil:
+		return "ready"
+	case e.loading != nil && e.training:
+		return "training"
+	case e.loading != nil:
+		return "loading"
+	case e.loadErr != nil:
+		return "failed"
+	case e.evicted:
+		return "evicted"
+	}
+	return "unloaded"
+}
+
+// Registry is a concurrency-safe catalog of named, versioned engine
+// entries. The zero value is not usable; construct with New.
+type Registry struct {
+	capacity int
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	// lru holds loaded entries, most recently used first.
+	lru *list.List
+}
+
+// New returns an empty registry keeping at most capacity entries
+// loaded at once (<= 0 means unbounded). Eviction is lazy and soft:
+// it runs when a handle pins an entry and when one releases, and never
+// unloads an entry with in-flight queries — so the loaded count can
+// transiently exceed capacity until traffic touches the registry.
+func New(capacity int) *Registry {
+	return &Registry{
+		capacity: capacity,
+		entries:  make(map[string]*entry),
+		lru:      list.New(),
+	}
+}
+
+// Register records (or, for an existing name, replaces) the spec for a
+// dataset name and returns the entry's new version, starting at 1.
+// Zero-valued fields of a replacement spec inherit from the replaced
+// one, so a spec carrying only a new artifact path hot-swaps the model
+// of a running entry. The swap is atomic: the loaded engine set (if
+// any) is detached under the registry lock, requests holding a handle
+// finish against the set they pinned, and the next request loads the
+// new spec lazily. Invalid specs — including an artifact whose
+// declared statistic or filter columns contradict the spec — are
+// rejected without touching the entry.
+func (r *Registry) Register(name string, spec Spec) (version int, err error) {
+	if name == "" {
+		return 0, fmt.Errorf("%w: empty dataset name", ErrBadSpec)
+	}
+	r.mu.Lock()
+	if prev, ok := r.entries[name]; ok {
+		spec = spec.merge(prev.spec)
+	}
+	r.mu.Unlock()
+	// Validation does file I/O; keep it outside the lock. A concurrent
+	// Register for the same name races benignly: both validate, last
+	// write wins, exactly as two sequential PUTs would.
+	if err := spec.validate(); err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		e = &entry{name: name}
+		r.entries[name] = e
+	}
+	e.spec = spec
+	e.version++
+	e.loadErr = nil
+	r.detachLocked(e)
+	return e.version, nil
+}
+
+// Remove deletes the named entry. Requests holding a handle finish
+// against the engine set they pinned; new requests get
+// ErrUnknownDataset.
+func (r *Registry) Remove(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	r.detachLocked(e)
+	delete(r.entries, name)
+	return nil
+}
+
+// detachLocked drops the entry's loaded engine set (handles already
+// pinning it keep it alive) and removes it from the LRU. An in-flight
+// load keeps running and discards its result on completion via the
+// version check in Acquire's load path.
+func (r *Registry) detachLocked(e *entry) {
+	if e.lruEl != nil {
+		r.lru.Remove(e.lruEl)
+		e.lruEl = nil
+	}
+	if e.set != nil {
+		e.set = nil
+		e.evicted = false // replaced, not evicted
+	}
+}
+
+// evictLocked unloads least-recently-used idle entries until the
+// loaded count fits the capacity. Entries with in-flight queries are
+// skipped — a busy entry is never evicted — so the loaded count may
+// stay above capacity until handles release.
+func (r *Registry) evictLocked() {
+	if r.capacity <= 0 {
+		return
+	}
+	for el := r.lru.Back(); el != nil && r.lru.Len() > r.capacity; {
+		prev := el.Prev()
+		e := el.Value.(*entry)
+		if e.inflight == 0 {
+			r.lru.Remove(el)
+			e.lruEl = nil
+			e.set = nil
+			e.evicted = true
+		}
+		el = prev
+	}
+}
+
+// Acquire resolves a dataset name to a handle on its current engine
+// set, loading the entry first if needed. Concurrent acquirers of a
+// cold entry share one load (and one training run); ctx bounds only
+// this caller's wait — the load itself belongs to the registry and
+// keeps running for the next acquirer if ctx expires. The returned
+// handle pins the engine set against hot swaps and eviction; callers
+// must Release it when the request completes.
+func (r *Registry) Acquire(ctx context.Context, name string) (*Handle, error) {
+	r.mu.Lock()
+	for {
+		e, ok := r.entries[name]
+		if !ok {
+			r.mu.Unlock()
+			return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+		}
+		if e.set != nil {
+			e.inflight++
+			r.lru.MoveToFront(e.lruEl)
+			h := &Handle{r: r, e: e, set: e.set}
+			// Evict only after pinning: the in-flight count protects
+			// this entry, so capacity pressure lands on idle ones. A
+			// load completion deliberately does not evict — its waiters
+			// have not pinned yet, and evicting the entry they are
+			// about to use would livelock a full registry.
+			r.evictLocked()
+			r.mu.Unlock()
+			return h, nil
+		}
+		if e.loading != nil {
+			ch := e.loading
+			r.mu.Unlock()
+			select {
+			case <-ch:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			r.mu.Lock()
+			continue
+		}
+		if e.loadErr != nil {
+			err := e.loadErr
+			r.mu.Unlock()
+			return nil, fmt.Errorf("registry: dataset %q failed to load: %w", name, err)
+		}
+		// Cold entry: start the load and loop back to wait on it.
+		ch := make(chan struct{})
+		e.loading = ch
+		e.training = e.spec.Train > 0
+		spec, version := e.spec, e.version
+		r.mu.Unlock()
+		go r.load(name, spec, version, ch)
+		r.mu.Lock()
+	}
+}
+
+// load materializes an engine set for spec and installs it, unless a
+// Register or Remove changed the entry while the load ran — then the
+// result is discarded and the next Acquire loads the current spec.
+// Loads deliberately run under a background context: they are shared
+// by every waiter, so one caller's disconnect must not abort a
+// training run others are waiting on.
+func (r *Registry) load(name string, spec Spec, version int, ch chan struct{}) {
+	set, err := buildEngineSet(context.Background(), spec, version)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	defer close(ch)
+	e, ok := r.entries[name]
+	if !ok || e.loading != ch {
+		return // entry removed or reset mid-load
+	}
+	e.loading = nil
+	e.training = false
+	if e.version != version {
+		return // spec swapped mid-load; discard, next Acquire reloads
+	}
+	if err != nil {
+		e.loadErr = err
+		return
+	}
+	// No eviction here: the waiters blocked in Acquire have not pinned
+	// the new set yet, so this entry would itself be the idle LRU
+	// candidate. The first Acquire to pin it evicts on its behalf.
+	e.set = set
+	e.evicted = false
+	e.lruEl = r.lru.PushFront(e)
+}
+
+// release is Handle.Release: the entry becomes evictable again once
+// its in-flight count drains.
+func (r *Registry) release(e *entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e.inflight--
+	r.evictLocked()
+}
+
+// ModelStatus is one entry's externally visible state, as reported by
+// List and the /healthz and /v1/models endpoints.
+type ModelStatus struct {
+	Name    string
+	Version int
+	// State is one of unloaded, loading, training, ready, failed,
+	// evicted.
+	State string
+	Spec  Spec
+	// Rows is the loaded dataset's row count (0 unless ready).
+	Rows int
+	// Surrogate reports whether the loaded entry can serve surrogate
+	// queries; Info carries the model's provenance when it can.
+	Surrogate bool
+	Info      *surf.SurrogateInfo
+	// Err is the load failure, when State is failed.
+	Err string
+	// InFlight is the number of unreleased handles.
+	InFlight int
+}
+
+// List reports every entry's status, sorted by name.
+func (r *Registry) List() []ModelStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ModelStatus, 0, len(r.entries))
+	for _, e := range r.entries {
+		st := ModelStatus{
+			Name:     e.name,
+			Version:  e.version,
+			State:    e.state(),
+			Spec:     e.spec,
+			InFlight: e.inflight,
+		}
+		if e.loadErr != nil {
+			st.Err = e.loadErr.Error()
+		}
+		if e.set != nil {
+			st.Rows = e.set.rows
+			st.Surrogate = e.set.engine.HasSurrogate()
+			if info, ok := e.set.engine.SurrogateInfo(); ok {
+				st.Info = &info
+			}
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Status reports one entry's status.
+func (r *Registry) Status(name string) (ModelStatus, error) {
+	for _, st := range r.List() {
+		if st.Name == name {
+			return st, nil
+		}
+	}
+	return ModelStatus{}, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+}

@@ -1,0 +1,387 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	surf "surf"
+)
+
+// shardedFixture builds the differential-test setup: a dataset whose
+// rows appear twice back-to-back, so a 2-shard split yields two shards
+// identical to the base rows, plus one Mean-statistic artifact shared
+// by the flat and sharded specs. Mean is duplication-invariant, the
+// shards inherit the full dataset's domain, and every engine carries
+// the same surrogate bytes — so the sharded merge must reproduce the
+// unsharded result exactly (with per-region worm counts doubled).
+type shardedFixture struct {
+	csv, artifact string
+}
+
+func newShardedFixture(t *testing.T) shardedFixture {
+	t.Helper()
+	dir := t.TempDir()
+	fx := shardedFixture{
+		csv:      filepath.Join(dir, "dup.csv"),
+		artifact: filepath.Join(dir, "mean.surf"),
+	}
+	names, cols := testCols(240)
+	dup := make([][]float64, len(cols))
+	for j, c := range cols {
+		dup[j] = append(append(make([]float64, 0, 2*len(c)), c...), c...)
+	}
+	writeCSV(t, fx.csv, names, dup)
+
+	f, err := os.Open(fx.csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := surf.ReadCSVDataset(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := surf.Open(ds, surf.Config{
+		FilterColumns: []string{"x", "y"}, Statistic: surf.Mean, TargetColumn: "v",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := eng.GenerateWorkload(150, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.TrainSurrogate(wl, surf.TrainOptions{Trees: 10}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.Create(fx.artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if err := eng.SaveSurrogate(out); err != nil {
+		t.Fatal(err)
+	}
+	return fx
+}
+
+func (fx shardedFixture) spec(shards int) Spec {
+	return Spec{
+		Data: fx.csv, FilterColumns: []string{"x", "y"},
+		Statistic: "mean", TargetColumn: "v",
+		Artifact: fx.artifact, Shards: shards,
+	}
+}
+
+// shardedHandles registers flat and 2-shard entries over the fixture
+// and acquires both.
+func shardedHandles(t *testing.T, fx shardedFixture) (flat, sharded *Handle) {
+	t.Helper()
+	r := New(0)
+	if _, err := r.Register("flat", fx.spec(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("sharded", fx.spec(2)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	flat, err := r.Acquire(ctx, "flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(flat.Release)
+	sharded, err = r.Acquire(ctx, "sharded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sharded.Release)
+	if flat.Sharded() || !sharded.Sharded() {
+		t.Fatalf("Sharded() flat=%v sharded=%v", flat.Sharded(), sharded.Sharded())
+	}
+	return flat, sharded
+}
+
+// meanQuery's threshold sits below the surrogate's peak prediction
+// (~0.48 over this fixture) so the fast GSO budget reliably mines a
+// few distinct regions.
+var meanQuery = surf.Query{
+	Threshold: 0.3, Above: true, Seed: 3,
+	Glowworms: 16, Iterations: 12, MaxRegions: 4,
+}
+
+// assertShardedMatchesFlat checks the differential contract: identical
+// regions and run-level figures, with the sharded worm counts summed
+// across the two identical shards.
+func assertShardedMatchesFlat(t *testing.T, flat, sharded *surf.Result) {
+	t.Helper()
+	if len(flat.Regions) == 0 {
+		t.Fatal("flat run mined no regions; the differential would be vacuous")
+	}
+	if len(sharded.Regions) != len(flat.Regions) {
+		t.Fatalf("sharded mined %d regions, flat %d", len(sharded.Regions), len(flat.Regions))
+	}
+	feq := func(a, b float64) bool { return a == b || (math.IsNaN(a) && math.IsNaN(b)) }
+	for i := range flat.Regions {
+		fr, sr := flat.Regions[i], sharded.Regions[i]
+		for j := range fr.Min {
+			if fr.Min[j] != sr.Min[j] || fr.Max[j] != sr.Max[j] {
+				t.Errorf("region %d bounds differ: flat [%v,%v] sharded [%v,%v]", i, fr.Min, fr.Max, sr.Min, sr.Max)
+				break
+			}
+		}
+		if !feq(fr.Estimate, sr.Estimate) || !feq(fr.Score, sr.Score) {
+			t.Errorf("region %d estimate/score: flat %g/%g sharded %g/%g", i, fr.Estimate, fr.Score, sr.Estimate, sr.Score)
+		}
+		if sr.Worms != 2*fr.Worms {
+			t.Errorf("region %d worms: flat %d sharded %d (want doubled)", i, fr.Worms, sr.Worms)
+		}
+		if fr.Verified != sr.Verified || fr.Satisfies != sr.Satisfies || !feq(fr.TrueValue, sr.TrueValue) {
+			t.Errorf("region %d verification: flat {%v %v %g} sharded {%v %v %g}",
+				i, fr.Verified, fr.Satisfies, fr.TrueValue, sr.Verified, sr.Satisfies, sr.TrueValue)
+		}
+	}
+	if !feq(flat.ValidParticleFraction, sharded.ValidParticleFraction) {
+		t.Errorf("valid particle fraction: flat %g sharded %g", flat.ValidParticleFraction, sharded.ValidParticleFraction)
+	}
+	if !feq(flat.ComplianceRate, sharded.ComplianceRate) {
+		t.Errorf("compliance: flat %g sharded %g", flat.ComplianceRate, sharded.ComplianceRate)
+	}
+}
+
+// TestShardedFindDifferential is the acceptance test: a 2-shard Find
+// over the duplicated dataset reproduces the single-engine result.
+func TestShardedFindDifferential(t *testing.T) {
+	fx := newShardedFixture(t)
+	flat, sharded := shardedHandles(t, fx)
+	ctx := context.Background()
+	fres, err := flat.Find(ctx, meanQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := sharded.Find(ctx, meanQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertShardedMatchesFlat(t, fres, sres)
+
+	t.Run("cluster extents", func(t *testing.T) {
+		q := meanQuery
+		q.ClusterExtents = true
+		fres, err := flat.Find(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sres, err := sharded.Find(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fres.Regions) == 0 || len(sres.Regions) != len(fres.Regions) {
+			t.Fatalf("cluster extents: flat %d regions, sharded %d", len(fres.Regions), len(sres.Regions))
+		}
+	})
+
+	t.Run("skip verify", func(t *testing.T) {
+		q := meanQuery
+		q.SkipVerify = true
+		sres, err := sharded.Find(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !math.IsNaN(sres.ComplianceRate) {
+			t.Errorf("skip-verify compliance = %g, want NaN", sres.ComplianceRate)
+		}
+		for i, r := range sres.Regions {
+			if r.Verified {
+				t.Errorf("region %d verified despite skip_verify", i)
+			}
+		}
+	})
+}
+
+func TestShardedTopKDifferential(t *testing.T) {
+	fx := newShardedFixture(t)
+	flat, sharded := shardedHandles(t, fx)
+	ctx := context.Background()
+	q := surf.TopKQuery{K: 3, Largest: true, Seed: 3, Glowworms: 16, Iterations: 12}
+	fres, err := flat.FindTopK(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := sharded.FindTopK(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fres.Regions) == 0 {
+		t.Fatal("flat top-k mined no regions")
+	}
+	if len(sres.Regions) != len(fres.Regions) {
+		t.Fatalf("sharded top-k %d regions, flat %d", len(sres.Regions), len(fres.Regions))
+	}
+	for i := range fres.Regions {
+		fr, sr := fres.Regions[i], sres.Regions[i]
+		if fr.Estimate != sr.Estimate || fr.TrueValue != sr.TrueValue || !sr.Verified {
+			t.Errorf("top-k region %d: flat {%g %g} sharded {%g %g verified=%v}",
+				i, fr.Estimate, fr.TrueValue, sr.Estimate, sr.TrueValue, sr.Verified)
+		}
+		if sr.Worms != 2*fr.Worms {
+			t.Errorf("top-k region %d worms: flat %d sharded %d", i, fr.Worms, sr.Worms)
+		}
+		if sr.Satisfies {
+			t.Errorf("top-k region %d: Satisfies must stay false", i)
+		}
+	}
+}
+
+// TestShardedStreamMatchesFind drains a sharded stream and checks the
+// terminal result equals the batch path, with live telemetry flowing
+// from both shards.
+func TestShardedStreamMatchesFind(t *testing.T) {
+	fx := newShardedFixture(t)
+	_, sharded := shardedHandles(t, fx)
+	ctx := context.Background()
+	want, err := sharded.Find(ctx, meanQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sharded.Stream(ctx, meanQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var iterations, done int
+	var final *surf.Result
+	for {
+		ev, err := st.Next()
+		if errors.Is(err, surf.ErrStreamDone) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch d := ev.(type) {
+		case surf.EventIteration:
+			iterations++
+		case surf.EventDone:
+			done++
+			final = d.Result
+		}
+	}
+	// Both shards run the query's iteration budget; the merged feed
+	// carries both.
+	if iterations <= meanQuery.Iterations {
+		t.Errorf("merged stream delivered %d iteration events for 2 shards of %d iterations",
+			iterations, meanQuery.Iterations)
+	}
+	if done != 1 || final == nil {
+		t.Fatalf("done events = %d", done)
+	}
+	if !regionsEqual(want, final) {
+		t.Fatal("streamed result differs from batch Find")
+	}
+
+	t.Run("validation error is synchronous", func(t *testing.T) {
+		bad := meanQuery
+		bad.MaxRegions = -1
+		if _, err := sharded.Stream(ctx, bad); !errors.Is(err, surf.ErrBadQuery) {
+			t.Fatalf("got %v, want ErrBadQuery", err)
+		}
+	})
+
+	t.Run("early close winds down", func(t *testing.T) {
+		long := meanQuery
+		long.Iterations = 2000
+		st, err := sharded.Stream(ctx, long)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := st.Next(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st.Close()
+		if _, err := st.Result(); err == nil {
+			t.Error("closed stream reported no error")
+		}
+	})
+}
+
+func TestShardedStreamTopK(t *testing.T) {
+	fx := newShardedFixture(t)
+	_, sharded := shardedHandles(t, fx)
+	ctx := context.Background()
+	q := surf.TopKQuery{K: 2, Largest: true, Seed: 3, Glowworms: 16, Iterations: 10}
+	want, err := sharded.FindTopK(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sharded.StreamTopK(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regionsEqual(want, res) {
+		t.Fatal("streamed top-k differs from batch FindTopK")
+	}
+}
+
+// TestShardedFindMany checks input-order delivery and per-query error
+// isolation on the sequential sharded path.
+func TestShardedFindMany(t *testing.T) {
+	fx := newShardedFixture(t)
+	_, sharded := shardedHandles(t, fx)
+	ctx := context.Background()
+	bad := meanQuery
+	bad.MaxRegions = -2
+	queries := []surf.Query{meanQuery, bad, meanQuery}
+	var got []surf.MultiResult
+	for mr := range sharded.FindMany(ctx, queries) {
+		got = append(got, mr)
+	}
+	if len(got) != 3 {
+		t.Fatalf("%d results for 3 queries", len(got))
+	}
+	for i, mr := range got {
+		if mr.Index != i {
+			t.Fatalf("result %d has index %d; sharded findmany must preserve input order", i, mr.Index)
+		}
+	}
+	if got[1].Err == nil {
+		t.Error("invalid query reported no error")
+	}
+	if got[0].Err != nil || got[2].Err != nil {
+		t.Errorf("valid queries failed: %v / %v", got[0].Err, got[2].Err)
+	}
+	if !regionsEqual(got[0].Result, got[2].Result) {
+		t.Error("identical queries returned different results")
+	}
+}
+
+// TestShardedMergedCache proves repeat queries hit the per-set cache
+// and that cached results are isolated from caller mutation.
+func TestShardedMergedCache(t *testing.T) {
+	fx := newShardedFixture(t)
+	_, sharded := shardedHandles(t, fx)
+	ctx := context.Background()
+	first, err := sharded.Find(ctx, meanQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Regions) == 0 {
+		t.Fatal("no regions")
+	}
+	first.Regions[0].Min[0] = -999 // must not poison the cache
+	second, err := sharded.Find(ctx, meanQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Regions[0].Min[0] == -999 {
+		t.Fatal("caller mutation leaked into the merged-result cache")
+	}
+}

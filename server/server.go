@@ -1,18 +1,30 @@
-// Package server exposes a surf.Engine over HTTP — the serving layer
-// of the paper's deployment story: the dataset and its trained
-// surrogate live in one process, and analysts (or dashboards) query
-// it remotely. The protocol is plain JSON over four endpoints:
+// Package server exposes surf engines over HTTP — the serving layer
+// of the paper's deployment story: datasets and their trained
+// surrogates live in one process, and analysts (or dashboards) query
+// them remotely. The protocol is plain JSON over these endpoints:
 //
-//	POST /v1/find      Query          → Result
-//	POST /v1/topk      TopKQuery      → Result
-//	POST /v1/findmany  {queries:[…]}  → per-query results, completion order
-//	GET  /v1/stream    ?q= / ?topk=   → Server-Sent Events (iteration/region/done)
-//	GET  /healthz                     → liveness + surrogate status
+//	POST /v1/find            Query          → Result
+//	POST /v1/topk            TopKQuery      → Result
+//	POST /v1/findmany        {queries:[…]}  → per-query results
+//	GET  /v1/stream          ?q= / ?topk=   → Server-Sent Events
+//	GET  /healthz                           → liveness + model status
+//	GET  /v1/models                         → registry listing
+//	GET  /v1/models/{name}                  → one entry's status
+//	PUT  /v1/models/{name}   Spec           → register / hot-swap
+//	DELETE /v1/models/{name}                → remove
+//
+// A server built with New serves one engine; one built with
+// NewRegistry serves a multi-dataset registry.Registry, routing each
+// query by its "dataset" field (?dataset= for streams) with an
+// optional default for requests that name none. The /v1/models admin
+// API and per-dataset /healthz reporting are registry-mode features;
+// a single-engine server answers them 404 ("no_registry").
 //
 // Sentinel errors map onto HTTP statuses: ErrBadQuery (and other
-// client mistakes) → 400, ErrNoSurrogate → 409 (the engine exists but
-// cannot serve surrogate queries yet — train or load first),
-// ErrBadArtifact → 422. Every error body is
+// client mistakes) → 400, registry.ErrBadSpec → 400, ErrNoSurrogate →
+// 409 (the engine exists but cannot serve surrogate queries yet —
+// train or load first), ErrBadArtifact → 422, an unknown dataset →
+// 404, an oversized request body → 413. Every error body is
 // {"error": …, "code": …}.
 //
 // Each request runs under its own context: a client that disconnects
@@ -26,16 +38,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"iter"
 	"net"
 	"net/http"
 	"strings"
 	"time"
 
 	surf "surf"
+	"surf/registry"
 )
 
 // maxBodyBytes bounds request bodies; queries are a few hundred bytes,
-// so a megabyte leaves room for large findmany batches.
+// so a megabyte leaves room for large findmany batches. Oversized
+// bodies answer 413.
 const maxBodyBytes = 1 << 20
 
 // maxFindManyQueries bounds one findmany batch.
@@ -45,24 +60,47 @@ const maxFindManyQueries = 256
 // its context is cancelled before forcibly closing connections.
 const shutdownTimeout = 5 * time.Second
 
-// Server serves one engine's query API. Construct with New, mount
-// Handler on any mux or serve directly with Serve/ListenAndServe.
-// The engine may be retrained or have artifacts loaded concurrently;
-// queries in flight keep the snapshot they started with.
+// Server serves the query API over one engine (New) or a registry of
+// them (NewRegistry). Construct with either, mount Handler on any mux
+// or serve directly with Serve/ListenAndServe. Engines may be
+// retrained, hot-swapped or have artifacts loaded concurrently;
+// queries in flight keep the snapshot (or registry engine set) they
+// started with.
 type Server struct {
-	eng *surf.Engine
-	mux *http.ServeMux
+	eng            *surf.Engine
+	reg            *registry.Registry
+	defaultDataset string
+	mux            *http.ServeMux
 }
 
-// New wraps an engine in an HTTP API.
+// New wraps a single engine in the HTTP API. Requests carrying a
+// "dataset" field answer 404: there is no registry to route by.
 func New(eng *surf.Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s := &Server{eng: eng}
+	s.routes()
+	return s
+}
+
+// NewRegistry serves a multi-dataset registry. Requests route by their
+// "dataset" field (?dataset= for streams); requests naming none use
+// defaultDataset, or answer 400 when it is empty.
+func NewRegistry(reg *registry.Registry, defaultDataset string) *Server {
+	s := &Server{reg: reg, defaultDataset: defaultDataset}
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/find", s.handleFind)
 	s.mux.HandleFunc("POST /v1/topk", s.handleTopK)
 	s.mux.HandleFunc("POST /v1/findmany", s.handleFindMany)
 	s.mux.HandleFunc("GET /v1/stream", s.handleStream)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return s
+	s.mux.HandleFunc("GET /v1/models", s.handleModelsList)
+	s.mux.HandleFunc("GET /v1/models/{name}", s.handleModelGet)
+	s.mux.HandleFunc("PUT /v1/models/{name}", s.handleModelPut)
+	s.mux.HandleFunc("DELETE /v1/models/{name}", s.handleModelDelete)
 }
 
 // Handler returns the server's routes as a standard http.Handler.
@@ -107,14 +145,75 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	return s.Serve(ctx, l)
 }
 
+// executor is the query surface shared by a bare engine and a
+// registry handle, so every handler runs one code path for both
+// server modes.
+type executor interface {
+	Find(ctx context.Context, q surf.Query) (*surf.Result, error)
+	FindTopK(ctx context.Context, q surf.TopKQuery) (*surf.Result, error)
+	FindMany(ctx context.Context, queries []surf.Query) iter.Seq[surf.MultiResult]
+	Stream(ctx context.Context, q surf.Query) (*surf.Stream, error)
+	StreamTopK(ctx context.Context, q surf.TopKQuery) (*surf.Stream, error)
+}
+
+// engineExecutor adapts a bare engine to the executor surface.
+type engineExecutor struct{ eng *surf.Engine }
+
+func (e engineExecutor) Find(ctx context.Context, q surf.Query) (*surf.Result, error) {
+	return e.eng.FindContext(ctx, q)
+}
+func (e engineExecutor) FindTopK(ctx context.Context, q surf.TopKQuery) (*surf.Result, error) {
+	return e.eng.FindTopKContext(ctx, q)
+}
+func (e engineExecutor) FindMany(ctx context.Context, queries []surf.Query) iter.Seq[surf.MultiResult] {
+	return e.eng.FindMany(ctx, queries)
+}
+func (e engineExecutor) Stream(ctx context.Context, q surf.Query) (*surf.Stream, error) {
+	return e.eng.Stream(ctx, q)
+}
+func (e engineExecutor) StreamTopK(ctx context.Context, q surf.TopKQuery) (*surf.Stream, error) {
+	return e.eng.StreamTopK(ctx, q)
+}
+
+// errNoRegistry answers registry-only requests on a single-engine
+// server.
+var errNoRegistry = errors.New("server: not serving a model registry")
+
+// errBodyTooLarge maps an over-limit request body to 413.
+var errBodyTooLarge = errors.New("server: request body too large")
+
+// acquire resolves the request's dataset to an executor plus the
+// release to defer. Single-engine servers reject any explicit dataset
+// (there is no registry to route by); registry servers fall back to
+// the default dataset, if any, and otherwise require one.
+func (s *Server) acquire(ctx context.Context, dataset string) (executor, func(), error) {
+	if s.reg == nil {
+		if dataset != "" {
+			return nil, nil, fmt.Errorf("%w: %q (single-dataset server)", registry.ErrUnknownDataset, dataset)
+		}
+		return engineExecutor{s.eng}, func() {}, nil
+	}
+	if dataset == "" {
+		dataset = s.defaultDataset
+		if dataset == "" {
+			return nil, nil, fmt.Errorf("%w: no dataset named and the server has no default", surf.ErrBadQuery)
+		}
+	}
+	h, err := s.reg.Acquire(ctx, dataset)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, h.Release, nil
+}
+
 // errorBody is the JSON error envelope.
 type errorBody struct {
 	Error string `json:"error"`
 	Code  string `json:"code"`
 }
 
-// statusFor maps an engine error to an HTTP status and a stable
-// machine-readable code.
+// statusFor maps an engine or registry error to an HTTP status and a
+// stable machine-readable code.
 func statusFor(err error) (int, string) {
 	switch {
 	case errors.Is(err, surf.ErrBadQuery),
@@ -123,6 +222,14 @@ func statusFor(err error) (int, string) {
 		return http.StatusBadRequest, "bad_query"
 	case errors.Is(err, surf.ErrDimMismatch):
 		return http.StatusBadRequest, "dim_mismatch"
+	case errors.Is(err, registry.ErrBadSpec):
+		return http.StatusBadRequest, "bad_spec"
+	case errors.Is(err, registry.ErrUnknownDataset):
+		return http.StatusNotFound, "unknown_dataset"
+	case errors.Is(err, errNoRegistry):
+		return http.StatusNotFound, "no_registry"
+	case errors.Is(err, errBodyTooLarge):
+		return http.StatusRequestEntityTooLarge, "body_too_large"
 	case errors.Is(err, surf.ErrNoSurrogate):
 		return http.StatusConflict, "no_surrogate"
 	case errors.Is(err, surf.ErrBadArtifact):
@@ -150,11 +257,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// decodeBody strictly decodes a JSON request body into v.
+// decodeBody strictly decodes a JSON request body into v, bounding it
+// at maxBodyBytes; an over-limit body maps to 413 rather than a
+// generic parse failure.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return fmt.Errorf("%w: limit %d bytes", errBodyTooLarge, mbe.Limit)
+		}
 		return fmt.Errorf("%w: body: %v", surf.ErrBadQuery, err)
 	}
 	return nil
@@ -169,14 +282,32 @@ func decodeStrict(data string, v any) error {
 	return dec.Decode(v)
 }
 
+// findRequest is a Query plus the registry routing field.
+type findRequest struct {
+	surf.Query
+	Dataset string `json:"dataset,omitempty"`
+}
+
+// topkRequest is a TopKQuery plus the registry routing field.
+type topkRequest struct {
+	surf.TopKQuery
+	Dataset string `json:"dataset,omitempty"`
+}
+
 // handleFind executes one threshold query.
 func (s *Server) handleFind(w http.ResponseWriter, r *http.Request) {
-	var q surf.Query
-	if err := decodeBody(w, r, &q); err != nil {
+	var req findRequest
+	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, err)
 		return
 	}
-	res, err := s.eng.FindContext(r.Context(), q)
+	ex, release, err := s.acquire(r.Context(), req.Dataset)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
+	res, err := ex.Find(r.Context(), req.Query)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -186,12 +317,18 @@ func (s *Server) handleFind(w http.ResponseWriter, r *http.Request) {
 
 // handleTopK executes one top-k query.
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	var q surf.TopKQuery
-	if err := decodeBody(w, r, &q); err != nil {
+	var req topkRequest
+	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, err)
 		return
 	}
-	res, err := s.eng.FindTopKContext(r.Context(), q)
+	ex, release, err := s.acquire(r.Context(), req.Dataset)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
+	res, err := ex.FindTopK(r.Context(), req.TopKQuery)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -200,9 +337,10 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 }
 
 // findManyRequest and findManyResponse are the /v1/findmany wire
-// forms. Results arrive in completion order; Index recovers each
-// query's position in the request.
+// forms. Results arrive in completion order (input order for sharded
+// datasets); Index recovers each query's position in the request.
 type findManyRequest struct {
+	Dataset string       `json:"dataset,omitempty"`
 	Queries []surf.Query `json:"queries"`
 }
 
@@ -217,8 +355,8 @@ type findManyResponse struct {
 	Results []findManyResult `json:"results"`
 }
 
-// handleFindMany executes a batch of threshold queries on the
-// engine's worker pool against one surrogate snapshot.
+// handleFindMany executes a batch of threshold queries against one
+// surrogate snapshot (one pinned engine set for registry datasets).
 func (s *Server) handleFindMany(w http.ResponseWriter, r *http.Request) {
 	var req findManyRequest
 	if err := decodeBody(w, r, &req); err != nil {
@@ -234,8 +372,14 @@ func (s *Server) handleFindMany(w http.ResponseWriter, r *http.Request) {
 			surf.ErrBadQuery, len(req.Queries), maxFindManyQueries))
 		return
 	}
+	ex, release, err := s.acquire(r.Context(), req.Dataset)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
 	out := findManyResponse{Results: make([]findManyResult, 0, len(req.Queries))}
-	for mr := range s.eng.FindMany(r.Context(), req.Queries) {
+	for mr := range ex.FindMany(r.Context(), req.Queries) {
 		fr := findManyResult{Index: mr.Index, Result: mr.Result}
 		if mr.Err != nil {
 			_, code := statusFor(mr.Err)
@@ -252,8 +396,9 @@ func (s *Server) handleFindMany(w http.ResponseWriter, r *http.Request) {
 
 // handleStream runs one query as a Server-Sent Events stream. The
 // query rides in the URL — ?q={Query JSON} for threshold queries,
-// ?topk={TopKQuery JSON} for top-k — because EventSource clients can
-// only issue plain GETs. Each event is emitted as
+// ?topk={TopKQuery JSON} for top-k, plus ?dataset={name} on a
+// registry server — because EventSource clients can only issue plain
+// GETs. Each event is emitted as
 //
 //	event: iteration|region|done
 //	data: {…}
@@ -275,23 +420,28 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errors.New("server: response writer cannot stream"))
 		return
 	}
+	ex, release, err := s.acquire(r.Context(), r.URL.Query().Get("dataset"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
 
 	var st *surf.Stream
-	var err error
 	if qParam != "" {
 		var q surf.Query
 		if jerr := decodeStrict(qParam, &q); jerr != nil {
 			writeError(w, fmt.Errorf("%w: q: %v", surf.ErrBadQuery, jerr))
 			return
 		}
-		st, err = s.eng.Stream(r.Context(), q)
+		st, err = ex.Stream(r.Context(), q)
 	} else {
 		var q surf.TopKQuery
 		if jerr := decodeStrict(topkParam, &q); jerr != nil {
 			writeError(w, fmt.Errorf("%w: topk: %v", surf.ErrBadQuery, jerr))
 			return
 		}
-		st, err = s.eng.StreamTopK(r.Context(), q)
+		st, err = ex.StreamTopK(r.Context(), q)
 	}
 	if err != nil {
 		writeError(w, err)
@@ -335,7 +485,132 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// healthzBody is the /healthz response.
+// modelBody is the wire form of one registry entry's status, shared by
+// the /v1/models listing and /healthz's datasets array.
+type modelBody struct {
+	Name    string        `json:"name"`
+	Version int           `json:"version"`
+	State   string        `json:"state"`
+	Spec    registry.Spec `json:"spec"`
+	// Rows is the loaded dataset's row count (omitted unless ready).
+	Rows int `json:"rows,omitempty"`
+	// Surrogate reports whether the loaded entry serves surrogate
+	// queries; SurrogateInfo carries the model's provenance when it
+	// does.
+	Surrogate     bool               `json:"surrogate"`
+	SurrogateInfo *surrogateInfoBody `json:"surrogate_info,omitempty"`
+	Error         string             `json:"error,omitempty"`
+	InFlight      int                `json:"in_flight,omitempty"`
+}
+
+type surrogateInfoBody struct {
+	Statistic      string   `json:"statistic"`
+	FilterColumns  []string `json:"filter_columns"`
+	TargetColumn   string   `json:"target_column,omitempty"`
+	TrainedQueries int      `json:"trained_queries,omitempty"`
+	Trees          int      `json:"trees,omitempty"`
+}
+
+func modelBodyFor(st registry.ModelStatus) modelBody {
+	b := modelBody{
+		Name:      st.Name,
+		Version:   st.Version,
+		State:     st.State,
+		Spec:      st.Spec,
+		Rows:      st.Rows,
+		Surrogate: st.Surrogate,
+		Error:     st.Err,
+		InFlight:  st.InFlight,
+	}
+	if st.Info != nil {
+		b.SurrogateInfo = &surrogateInfoBody{
+			Statistic:      st.Info.Statistic,
+			FilterColumns:  st.Info.FilterColumns,
+			TargetColumn:   st.Info.TargetColumn,
+			TrainedQueries: st.Info.TrainedQueries,
+			Trees:          st.Info.Trees,
+		}
+	}
+	return b
+}
+
+// handleModelsList reports every registry entry's status.
+func (s *Server) handleModelsList(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		writeError(w, errNoRegistry)
+		return
+	}
+	statuses := s.reg.List()
+	models := make([]modelBody, 0, len(statuses))
+	for _, st := range statuses {
+		models = append(models, modelBodyFor(st))
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Default string      `json:"default_dataset,omitempty"`
+		Models  []modelBody `json:"models"`
+	}{s.defaultDataset, models})
+}
+
+// handleModelGet reports one registry entry's status.
+func (s *Server) handleModelGet(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		writeError(w, errNoRegistry)
+		return
+	}
+	st, err := s.reg.Status(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, modelBodyFor(st))
+}
+
+// handleModelPut registers a dataset or hot-swaps an existing one: the
+// body is a registry.Spec, zero-valued fields inherit from the
+// replaced spec, and the swap is atomic — in-flight queries finish
+// against the engine set they pinned while the next request loads the
+// new version.
+func (s *Server) handleModelPut(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		writeError(w, errNoRegistry)
+		return
+	}
+	name := r.PathValue("name")
+	var spec registry.Spec
+	if err := decodeBody(w, r, &spec); err != nil {
+		writeError(w, err)
+		return
+	}
+	version, err := s.reg.Register(name, spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Name    string `json:"name"`
+		Version int    `json:"version"`
+	}{name, version})
+}
+
+// handleModelDelete removes a dataset from the registry. In-flight
+// queries finish; new requests for the name answer 404.
+func (s *Server) handleModelDelete(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		writeError(w, errNoRegistry)
+		return
+	}
+	name := r.PathValue("name")
+	if err := s.reg.Remove(name); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Name    string `json:"name"`
+		Removed bool   `json:"removed"`
+	}{name, true})
+}
+
+// healthzBody is the single-engine /healthz response.
 type healthzBody struct {
 	Status    string   `json:"status"`
 	Dims      int      `json:"dims"`
@@ -344,14 +619,33 @@ type healthzBody struct {
 	Filters   []string `json:"filter_columns,omitempty"`
 }
 
-// handleHealthz reports liveness plus whether the engine can serve
-// surrogate queries (surrogate-less engines still answer
-// use_true_function queries).
+// registryHealthzBody is the registry-mode /healthz response: overall
+// liveness plus per-dataset readiness.
+type registryHealthzBody struct {
+	Status   string      `json:"status"`
+	Default  string      `json:"default_dataset,omitempty"`
+	Datasets []modelBody `json:"datasets"`
+}
+
+// handleHealthz reports liveness. A single-engine server reports
+// whether its engine can serve surrogate queries (surrogate-less
+// engines still answer use_true_function queries); a registry server
+// reports every dataset's name, version and lifecycle state
+// (unloaded, loading, training, ready, failed, evicted).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	body := healthzBody{Status: "ok", Dims: s.eng.Dims(), Surrogate: s.eng.HasSurrogate()}
-	if info, ok := s.eng.SurrogateInfo(); ok {
-		body.Statistic = info.Statistic
-		body.Filters = info.FilterColumns
+	if s.reg == nil {
+		body := healthzBody{Status: "ok", Dims: s.eng.Dims(), Surrogate: s.eng.HasSurrogate()}
+		if info, ok := s.eng.SurrogateInfo(); ok {
+			body.Statistic = info.Statistic
+			body.Filters = info.FilterColumns
+		}
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
+	statuses := s.reg.List()
+	body := registryHealthzBody{Status: "ok", Default: s.defaultDataset, Datasets: make([]modelBody, 0, len(statuses))}
+	for _, st := range statuses {
+		body.Datasets = append(body.Datasets, modelBodyFor(st))
 	}
 	writeJSON(w, http.StatusOK, body)
 }
