@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"surf/internal/core"
 )
@@ -31,6 +32,10 @@ type resultCache struct {
 	cap   int
 	order *list.List // front = most recently used; values are *cacheEntry
 	items map[string]*list.Element
+	// hits and misses are atomics, not mutex-guarded fields: a scrape
+	// of the counters must never contend with the query hot path.
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 type cacheEntry struct {
@@ -64,8 +69,10 @@ func (c *resultCache) get(key string) (*Result, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
+		c.misses.Add(1)
 		return nil, false
 	}
+	c.hits.Add(1)
 	c.order.MoveToFront(el)
 	return copyResult(el.Value.(*cacheEntry).res), true
 }
@@ -110,6 +117,34 @@ func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// CacheStats is a point-in-time snapshot of a result cache's
+// effectiveness, as reported by Engine.CacheStats. Hits and Misses
+// accumulate over the engine's lifetime (they survive the clears a
+// train/load triggers — a hit ratio that resets on every hot swap
+// would be useless for monitoring); Entries and Capacity describe the
+// cache's current occupancy.
+type CacheStats struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Entries  int    `json:"entries"`
+	Capacity int    `json:"capacity"`
+}
+
+// stats snapshots the cache counters. Hits and misses are read
+// without the mutex — each is individually consistent, which is all a
+// metrics scrape needs.
+func (c *resultCache) stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Entries:  c.len(),
+		Capacity: c.cap,
+	}
 }
 
 // copyResult deep-copies a result so cache entries and caller-visible

@@ -303,3 +303,43 @@ func TestResultCacheSessionSharing(t *testing.T) {
 		t.Fatal("session repeat of an engine query re-ran the swarm")
 	}
 }
+
+// TestCacheStats: the engine reports lifetime hit/miss counters and
+// current occupancy, and the counters survive the clear a snapshot
+// swap triggers.
+func TestCacheStats(t *testing.T) {
+	eng, _ := cachedEngine(t)
+	if st := eng.CacheStats(); st != (CacheStats{Capacity: defaultCacheSize}) {
+		t.Fatalf("fresh engine stats = %+v", st)
+	}
+	if _, err := eng.Find(cacheQuery); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Find(cacheQuery); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.CacheStats()
+	want := CacheStats{Hits: 1, Misses: 1, Entries: 1, Capacity: defaultCacheSize}
+	if st != want {
+		t.Fatalf("stats after miss+hit = %+v, want %+v", st, want)
+	}
+	// A snapshot swap clears entries but keeps the lifetime counters.
+	eng.cache.clear()
+	st = eng.CacheStats()
+	want.Entries = 0
+	if st != want {
+		t.Fatalf("stats after clear = %+v, want %+v", st, want)
+	}
+}
+
+// TestCacheStatsDisabled: a disabled cache reports zeros — no phantom
+// misses from the bypassed lookup path.
+func TestCacheStatsDisabled(t *testing.T) {
+	eng, _ := cachedEngine(t, WithResultCache(0))
+	if _, err := eng.Find(cacheQuery); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.CacheStats(); st != (CacheStats{}) {
+		t.Fatalf("disabled cache stats = %+v, want zeros", st)
+	}
+}

@@ -1,0 +1,509 @@
+// Command surf-loadtest drives a running surf-serve instance with a
+// closed-loop mixed workload — POST /v1/find, GET /v1/stream and
+// POST /v1/findmany — and reports throughput and tail latency:
+//
+//	surf-loadtest -addr http://127.0.0.1:8080 \
+//	              -concurrency 8 -duration 10s -warmup 2s \
+//	              -mix find=6,stream=1,findmany=3 \
+//	              -out bench-results
+//
+// Each worker issues one request at a time (closed loop), picking the
+// route by the -mix weights and cycling the query seed through -seeds
+// values so the server's result cache sees a realistic blend of hits
+// and misses. Samples from the -warmup window are discarded; the rest
+// produce per-route and aggregate p50/p95/p99 latency, QPS, error
+// rate and the harness's own allocation rate, printed as a table and
+// written to <out>/BENCH_serving.json.
+//
+// -min-qps and -max-p99 turn the measurements into hard gates: the
+// command exits nonzero when throughput falls below the floor or the
+// aggregate p99 exceeds the ceiling. CI runs the harness against a
+// freshly started server and fails the push on a serving regression.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"surf/internal/cli"
+)
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", "http://127.0.0.1:8080", "base URL of the surf-serve instance")
+	flag.IntVar(&o.concurrency, "concurrency", 8, "closed-loop workers")
+	flag.DurationVar(&o.duration, "duration", 10*time.Second, "measurement window (after warmup)")
+	flag.DurationVar(&o.warmup, "warmup", 2*time.Second, "warmup window excluded from the report")
+	flag.StringVar(&o.mix, "mix", "find=6,stream=1,findmany=3", "route weights: find=N,stream=N,findmany=N")
+	flag.StringVar(&o.dataset, "dataset", "", "dataset field sent with every query ('' = server default)")
+	flag.Uint64Var(&o.seed, "seed", 1, "base seed for query generation")
+	flag.IntVar(&o.seeds, "seeds", 16, "distinct query seeds to cycle through (controls cache hit mix)")
+	flag.Float64Var(&o.threshold, "threshold", 20, "query threshold")
+	flag.IntVar(&o.glowworms, "glowworms", 20, "glowworms per query")
+	flag.IntVar(&o.iterations, "iterations", 15, "swarm iterations per query")
+	flag.StringVar(&o.out, "out", "", "directory for BENCH_serving.json ('' disables)")
+	flag.Float64Var(&o.minQPS, "min-qps", 0, "fail unless aggregate QPS reaches this floor (0 disables)")
+	flag.DurationVar(&o.maxP99, "max-p99", 0, "fail if aggregate p99 latency exceeds this ceiling (0 disables)")
+	flag.Parse()
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	rep, err := run(ctx, o, os.Stdout)
+	if err != nil {
+		cli.Exit("surf-loadtest", err)
+	}
+	if err := rep.checkGates(o); err != nil {
+		cli.Exit("surf-loadtest", err)
+	}
+}
+
+// options carries the harness configuration.
+type options struct {
+	addr        string
+	concurrency int
+	duration    time.Duration
+	warmup      time.Duration
+	mix         string
+	dataset     string
+	seed        uint64
+	seeds       int
+	threshold   float64
+	glowworms   int
+	iterations  int
+	out         string
+	minQPS      float64
+	maxP99      time.Duration
+}
+
+// routeNames orders the workload routes for reports and mix parsing.
+var routeNames = []string{"find", "stream", "findmany"}
+
+// parseMix turns "find=6,stream=1,findmany=3" into per-route weights.
+func parseMix(s string) (map[string]int, error) {
+	weights := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q: want route=weight", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("mix entry %q: bad weight", part)
+		}
+		known := false
+		for _, r := range routeNames {
+			if name == r {
+				known = true
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("mix entry %q: unknown route (want find, stream, findmany)", part)
+		}
+		weights[name] = w
+	}
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("mix %q: all weights zero", s)
+	}
+	return weights, nil
+}
+
+// sample is one completed request.
+type sample struct {
+	route   string
+	latency time.Duration
+	err     bool
+}
+
+// Report is the measurement summary written to BENCH_serving.json.
+type Report struct {
+	Config struct {
+		Addr        string  `json:"addr"`
+		Concurrency int     `json:"concurrency"`
+		DurationSec float64 `json:"duration_seconds"`
+		WarmupSec   float64 `json:"warmup_seconds"`
+		Mix         string  `json:"mix"`
+		Dataset     string  `json:"dataset,omitempty"`
+		Seeds       int     `json:"seeds"`
+	} `json:"config"`
+	Requests       int                    `json:"requests"`
+	Errors         int                    `json:"errors"`
+	ErrorRate      float64                `json:"error_rate"`
+	QPS            float64                `json:"qps"`
+	Latency        latencySummary         `json:"latency_ms"`
+	Routes         map[string]routeReport `json:"routes"`
+	AllocPerReqB   float64                `json:"harness_alloc_bytes_per_request"`
+	GateMinQPS     float64                `json:"gate_min_qps,omitempty"`
+	GateMaxP99Ms   float64                `json:"gate_max_p99_ms,omitempty"`
+	MeasuredAtUnix int64                  `json:"measured_at_unix"`
+}
+
+// routeReport summarizes one route's share of the workload.
+type routeReport struct {
+	Requests int            `json:"requests"`
+	Errors   int            `json:"errors"`
+	Latency  latencySummary `json:"latency_ms"`
+}
+
+// latencySummary holds millisecond percentiles over a sample set.
+type latencySummary struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// summarize computes percentiles by nearest rank over sorted samples.
+func summarize(lat []time.Duration) latencySummary {
+	if len(lat) == 0 {
+		return latencySummary{}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	pct := func(p float64) float64 {
+		idx := int(p/100*float64(len(lat))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(lat) {
+			idx = len(lat) - 1
+		}
+		return ms(lat[idx])
+	}
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	return latencySummary{
+		P50:  pct(50),
+		P95:  pct(95),
+		P99:  pct(99),
+		Mean: ms(sum / time.Duration(len(lat))),
+		Max:  ms(lat[len(lat)-1]),
+	}
+}
+
+// checkGates enforces -min-qps and -max-p99 against the report.
+func (r *Report) checkGates(o options) error {
+	if o.minQPS > 0 && r.QPS < o.minQPS {
+		return fmt.Errorf("QPS gate failed: measured %.1f < floor %.1f", r.QPS, o.minQPS)
+	}
+	if o.maxP99 > 0 {
+		ceil := float64(o.maxP99) / float64(time.Millisecond)
+		if r.Latency.P99 > ceil {
+			return fmt.Errorf("p99 gate failed: measured %.1fms > ceiling %.1fms", r.Latency.P99, ceil)
+		}
+	}
+	return nil
+}
+
+// run executes the load test and writes the report. Gate checking is
+// the caller's job so the report is always produced (and persisted)
+// even when a gate fails.
+func run(ctx context.Context, o options, stdout io.Writer) (*Report, error) {
+	weights, err := parseMix(o.mix)
+	if err != nil {
+		return nil, err
+	}
+	if o.concurrency < 1 {
+		return nil, fmt.Errorf("-concurrency must be >= 1")
+	}
+	if o.seeds < 1 {
+		o.seeds = 1
+	}
+	base := strings.TrimRight(o.addr, "/")
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        o.concurrency * 2,
+		MaxIdleConnsPerHost: o.concurrency * 2,
+	}}
+	defer client.CloseIdleConnections()
+
+	// One readiness probe before spending the full window: a server
+	// that is down or unready fails fast with a useful error.
+	if err := probeReady(ctx, client, base); err != nil {
+		return nil, err
+	}
+
+	// The route schedule repeats a deterministic weighted sequence;
+	// each worker walks it from a different offset.
+	var schedule []string
+	for _, name := range routeNames {
+		for i := 0; i < weights[name]; i++ {
+			schedule = append(schedule, name)
+		}
+	}
+
+	start := time.Now()
+	measureFrom := start.Add(o.warmup)
+	deadline := start.Add(o.warmup + o.duration)
+	runCtx, cancel := context.WithDeadline(ctx, deadline)
+	defer cancel()
+
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+
+	results := make([][]sample, o.concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < o.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(o.seed, uint64(w)))
+			for i := 0; ; i++ {
+				if runCtx.Err() != nil {
+					return
+				}
+				route := schedule[(w+i)%len(schedule)]
+				qseed := o.seed + uint64(rng.IntN(o.seeds))
+				t0 := time.Now()
+				err := issue(runCtx, client, base, route, o, qseed)
+				lat := time.Since(t0)
+				if runCtx.Err() != nil {
+					// The deadline fired mid-request; don't count a
+					// truncated sample.
+					return
+				}
+				if t0.After(measureFrom) {
+					results[w] = append(results[w], sample{route: route, latency: lat, err: err != nil})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(measureFrom)
+	if elapsed > o.duration {
+		elapsed = o.duration
+	}
+
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+
+	rep := &Report{Routes: map[string]routeReport{}}
+	rep.Config.Addr = base
+	rep.Config.Concurrency = o.concurrency
+	rep.Config.DurationSec = o.duration.Seconds()
+	rep.Config.WarmupSec = o.warmup.Seconds()
+	rep.Config.Mix = o.mix
+	rep.Config.Dataset = o.dataset
+	rep.Config.Seeds = o.seeds
+	rep.GateMinQPS = o.minQPS
+	rep.GateMaxP99Ms = float64(o.maxP99) / float64(time.Millisecond)
+	rep.MeasuredAtUnix = time.Now().Unix()
+
+	var all []time.Duration
+	byRoute := map[string][]time.Duration{}
+	for _, worker := range results {
+		for _, s := range worker {
+			rep.Requests++
+			if s.err {
+				rep.Errors++
+			}
+			all = append(all, s.latency)
+			byRoute[s.route] = append(byRoute[s.route], s.latency)
+			rr := rep.Routes[s.route]
+			rr.Requests++
+			if s.err {
+				rr.Errors++
+			}
+			rep.Routes[s.route] = rr
+		}
+	}
+	if rep.Requests == 0 {
+		return nil, fmt.Errorf("no samples collected: measurement window too short for this server")
+	}
+	for name, lat := range byRoute {
+		rr := rep.Routes[name]
+		rr.Latency = summarize(lat)
+		rep.Routes[name] = rr
+	}
+	rep.Latency = summarize(all)
+	rep.ErrorRate = float64(rep.Errors) / float64(rep.Requests)
+	rep.QPS = float64(rep.Requests) / elapsed.Seconds()
+	rep.AllocPerReqB = float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / float64(rep.Requests)
+
+	printReport(stdout, rep)
+	if o.out != "" {
+		if err := writeReport(o.out, rep); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", filepath.Join(o.out, "BENCH_serving.json"))
+	}
+	return rep, nil
+}
+
+// probeReady polls /readyz briefly so the harness fails fast (with
+// the server's own diagnostic) instead of measuring a dead endpoint.
+func probeReady(ctx context.Context, client *http.Client, base string) error {
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/readyz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("server not ready: %s: %s", resp.Status, bytes.TrimSpace(body))
+			}
+		} else if time.Now().After(deadline) {
+			return fmt.Errorf("server unreachable: %v", err)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+}
+
+// query builds the JSON body for one find query at the given seed.
+func (o options) query(seed uint64) map[string]any {
+	q := map[string]any{
+		"threshold":   o.threshold,
+		"above":       true,
+		"seed":        seed,
+		"glowworms":   o.glowworms,
+		"iterations":  o.iterations,
+		"max_regions": 4,
+	}
+	if o.dataset != "" {
+		q["dataset"] = o.dataset
+	}
+	return q
+}
+
+// issue performs one request of the given route and returns a non-nil
+// error for transport failures, non-2xx statuses, or (for streams) a
+// missing terminal done event.
+func issue(ctx context.Context, client *http.Client, base, route string, o options, seed uint64) error {
+	switch route {
+	case "find":
+		return postJSON(ctx, client, base+"/v1/find", o.query(seed))
+	case "findmany":
+		body := map[string]any{"queries": []map[string]any{o.query(seed), o.query(seed + 1)}}
+		if o.dataset != "" {
+			body["dataset"] = o.dataset
+		}
+		return postJSON(ctx, client, base+"/v1/findmany", body)
+	case "stream":
+		body := map[string]any{"q": o.query(seed)}
+		if o.dataset != "" {
+			body["dataset"] = o.dataset
+		}
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/stream", bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("stream: %s", resp.Status)
+		}
+		if !bytes.Contains(out, []byte("event: done")) {
+			return fmt.Errorf("stream ended without done event")
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown route %q", route)
+	}
+}
+
+// postJSON sends body and drains the response, reporting non-2xx as
+// an error.
+func postJSON(ctx context.Context, client *http.Client, url string, body any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return nil
+}
+
+// printReport renders the human-readable summary table.
+func printReport(w io.Writer, r *Report) {
+	fmt.Fprintf(w, "surf-loadtest: %d workers, %.0fs window (+%.0fs warmup), mix %s\n",
+		r.Config.Concurrency, r.Config.DurationSec, r.Config.WarmupSec, r.Config.Mix)
+	fmt.Fprintf(w, "%-10s %9s %7s %9s %9s %9s %9s\n",
+		"route", "requests", "errors", "p50(ms)", "p95(ms)", "p99(ms)", "max(ms)")
+	for _, name := range routeNames {
+		rr, ok := r.Routes[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "%-10s %9d %7d %9.2f %9.2f %9.2f %9.2f\n",
+			name, rr.Requests, rr.Errors, rr.Latency.P50, rr.Latency.P95, rr.Latency.P99, rr.Latency.Max)
+	}
+	fmt.Fprintf(w, "%-10s %9d %7d %9.2f %9.2f %9.2f %9.2f\n",
+		"all", r.Requests, r.Errors, r.Latency.P50, r.Latency.P95, r.Latency.P99, r.Latency.Max)
+	fmt.Fprintf(w, "QPS %.1f, error rate %.2f%%, harness alloc %.0f B/req\n",
+		r.QPS, 100*r.ErrorRate, r.AllocPerReqB)
+}
+
+// writeReport persists BENCH_serving.json under dir.
+func writeReport(dir string, r *Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_serving.json"), append(raw, '\n'), 0o644)
+}

@@ -1,8 +1,13 @@
 // Command surf-serve exposes a dataset (and optionally a trained
 // surrogate) over the HTTP query API: POST /v1/find, POST /v1/topk,
-// POST /v1/findmany, GET /v1/stream (Server-Sent Events) and GET
-// /healthz — the paper's deployment story with the surrogate resident
-// in memory and remote analysts querying it.
+// POST /v1/findmany, GET|POST /v1/stream (Server-Sent Events), GET
+// /healthz, GET /readyz and GET /metrics (Prometheus text format) —
+// the paper's deployment story with the surrogate resident in memory
+// and remote analysts querying it.
+//
+// -log-format json|text emits one structured access-log line per
+// request on stderr (route, dataset, status, duration, bytes,
+// request ID); the default "off" disables access logging.
 //
 // Usage:
 //
@@ -47,6 +52,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"strings"
@@ -72,6 +78,7 @@ func main() {
 	flag.StringVar(&o.registryPath, "registry", "", "multi-dataset registry config JSON (exclusive with -data)")
 	flag.IntVar(&o.capacity, "capacity", 0, "override the registry config's loaded-entry capacity")
 	flag.StringVar(&o.defaultDataset, "default", "", "override the registry config's default dataset")
+	flag.StringVar(&o.logFormat, "log-format", "off", "access log format: json, text, or off")
 	flag.Parse()
 	ctx, stop := cli.SignalContext()
 	defer stop()
@@ -89,6 +96,24 @@ type serveOpts struct {
 	cache                                      int
 	registryPath, defaultDataset               string
 	capacity                                   int
+	logFormat                                  string
+}
+
+// serverOptions maps -log-format onto the server's access-log option.
+// Logs go to stderr so they never interleave with stdout status lines.
+func serverOptions(o serveOpts) ([]server.Option, error) {
+	switch o.logFormat {
+	case "off", "":
+		return nil, nil
+	case "json":
+		return []server.Option{server.WithAccessLogger(
+			slog.New(slog.NewJSONHandler(os.Stderr, nil)))}, nil
+	case "text":
+		return []server.Option{server.WithAccessLogger(
+			slog.New(slog.NewTextHandler(os.Stderr, nil)))}, nil
+	default:
+		return nil, fmt.Errorf("-log-format %q: want json, text, or off", o.logFormat)
+	}
 }
 
 // registryConfig is the -registry file: the catalog served at startup.
@@ -118,6 +143,10 @@ func run(ctx context.Context, o serveOpts, onReady func(addr string)) error {
 	}
 	if o.dataPath == "" || o.filters == "" {
 		return fmt.Errorf("-data and -filters are required")
+	}
+	srvOpts, err := serverOptions(o)
+	if err != nil {
+		return err
 	}
 	if o.modelPath != "" && o.train > 0 {
 		return fmt.Errorf("-model and -train are mutually exclusive")
@@ -187,7 +216,7 @@ func run(ctx context.Context, o serveOpts, onReady func(addr string)) error {
 	if onReady != nil {
 		onReady(l.Addr().String())
 	}
-	err = server.New(eng).Serve(ctx, l)
+	err = server.New(eng, srvOpts...).Serve(ctx, l)
 	if err == nil {
 		fmt.Println("shut down cleanly")
 	}
@@ -201,6 +230,10 @@ func run(ctx context.Context, o serveOpts, onReady func(addr string)) error {
 func runRegistry(ctx context.Context, o serveOpts, onReady func(addr string)) error {
 	if o.dataPath != "" || o.filters != "" || o.modelPath != "" || o.train > 0 {
 		return fmt.Errorf("-registry is exclusive with -data/-filters/-model/-train")
+	}
+	srvOpts, err := serverOptions(o)
+	if err != nil {
+		return err
 	}
 	raw, err := os.ReadFile(o.registryPath)
 	if err != nil {
@@ -238,7 +271,7 @@ func runRegistry(ctx context.Context, o serveOpts, onReady func(addr string)) er
 	if onReady != nil {
 		onReady(l.Addr().String())
 	}
-	err = server.NewRegistry(reg, cfg.Default).Serve(ctx, l)
+	err = server.NewRegistry(reg, cfg.Default, srvOpts...).Serve(ctx, l)
 	if err == nil {
 		fmt.Println("shut down cleanly")
 	}

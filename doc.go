@@ -140,13 +140,22 @@
 // # Serving and caching
 //
 // Package surf/server exposes an Engine over HTTP: POST /v1/find,
-// /v1/topk and /v1/findmany, GET /v1/stream (the event feed as
-// Server-Sent Events, encoded with MarshalEvent) and GET /healthz,
-// with the sentinel errors mapped to statuses (ErrBadQuery → 400,
-// ErrNoSurrogate → 409, ErrBadArtifact → 422). Query, TopKQuery,
-// Result, Region and the events all have stable snake_case JSON
-// forms; non-finite floats encode as the strings "NaN", "+Inf" and
-// "-Inf". The surf-serve command is its CLI front-end.
+// /v1/topk and /v1/findmany, GET or POST /v1/stream (the event feed
+// as Server-Sent Events, encoded with MarshalEvent), GET /healthz
+// (liveness), GET /readyz (readiness) and GET /metrics (Prometheus
+// text format), with the sentinel errors mapped to statuses
+// (ErrBadQuery → 400, ErrNoSurrogate → 409, ErrBadArtifact → 422)
+// and rendered as a uniform {"error": {"code", "message",
+// "request_id"}} envelope — the full code table is in the server
+// package documentation. Every request gets an ID (client-supplied
+// or generated) echoed in the X-Request-Id header and response body,
+// and the server can emit one structured log/slog line per request.
+// Query, TopKQuery, Result, Region and the events all have stable
+// snake_case JSON forms; non-finite floats encode as the strings
+// "NaN", "+Inf" and "-Inf". The surf-serve command is its CLI
+// front-end, and surf-loadtest drives a running server with a
+// closed-loop mixed workload, gating CI on throughput and tail
+// latency.
 //
 // Package surf/registry scales that server to many datasets: a
 // concurrency-safe catalog of named, versioned engine entries that

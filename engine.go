@@ -396,6 +396,15 @@ type SurrogateInfo struct {
 	HyperTuned   bool
 }
 
+// CacheStats reports the result cache's lifetime hit/miss counters
+// and current occupancy. A disabled cache (WithResultCache(0), or a
+// WithBackend engine that never opted in) reports zeros. Safe to call
+// concurrently with queries; the serving layer exports these through
+// GET /metrics.
+func (e *Engine) CacheStats() CacheStats {
+	return e.cache.stats()
+}
+
 // SurrogateInfo returns the provenance of the engine's current
 // surrogate snapshot; ok is false when none is trained or loaded.
 func (e *Engine) SurrogateInfo() (info SurrogateInfo, ok bool) {

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Inc()
+	g.Add(10)
+	g.Dec()
+	if g.Value() != 10 {
+		t.Fatalf("gauge = %d, want 10", g.Value())
+	}
+	g.Set(-3)
+	if g.Value() != -3 {
+		t.Fatalf("gauge = %d, want -3", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0.1, 1, 10)
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	// 0.05 and 0.1 land in le=0.1 (bounds are inclusive upper bounds),
+	// 0.5 in le=1, 5 in le=10, 100 in +Inf.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-105.65) > 1e-9 {
+		t.Errorf("sum = %g, want 105.65", h.Sum())
+	}
+}
+
+func TestHistogramPanicsOnUnorderedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unordered bounds")
+		}
+	}()
+	NewHistogram(1, 1)
+}
+
+// TestZeroAllocInstruments pins the hot-path contract: recording a
+// sample allocates nothing. The HTTP middleware's own zero-allocation
+// benchmark builds on this.
+func TestZeroAllocInstruments(t *testing.T) {
+	var c Counter
+	var g Gauge
+	h := NewHistogram(DefBuckets...)
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %.2f/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Add(3) }); n != 0 {
+		t.Errorf("Gauge.Add allocates %.2f/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.042) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %.2f/op", n)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("surf_requests_total", "Total requests.", "route", "/v1/find", "code", "2xx")
+	c.Add(7)
+	r.Counter("surf_requests_total", "Total requests.", "route", "/v1/find", "code", "5xx").Inc()
+	g := r.Gauge("surf_in_flight", "In-flight requests.")
+	g.Set(2)
+	h := r.Histogram("surf_latency_seconds", "Latency.", []float64{0.1, 1}, "route", "/v1/find")
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(3)
+	r.Collect("surf_dataset_state", "Lifecycle state.", TypeGauge, func(emit func(v float64, labels ...string)) {
+		emit(1, "dataset", "taxi", "state", "ready")
+	})
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP surf_requests_total Total requests.\n# TYPE surf_requests_total counter\n",
+		`surf_requests_total{route="/v1/find",code="2xx"} 7` + "\n",
+		`surf_requests_total{route="/v1/find",code="5xx"} 1` + "\n",
+		"# TYPE surf_in_flight gauge\n",
+		"surf_in_flight 2\n",
+		`surf_latency_seconds_bucket{route="/v1/find",le="0.1"} 1` + "\n",
+		`surf_latency_seconds_bucket{route="/v1/find",le="1"} 2` + "\n",
+		`surf_latency_seconds_bucket{route="/v1/find",le="+Inf"} 3` + "\n",
+		`surf_latency_seconds_sum{route="/v1/find"} 3.55` + "\n",
+		`surf_latency_seconds_count{route="/v1/find"} 3` + "\n",
+		`surf_dataset_state{dataset="taxi",state="ready"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families are sorted by name.
+	if strings.Index(out, "surf_dataset_state") > strings.Index(out, "surf_in_flight") {
+		t.Error("families not sorted by name")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("m", "h", "k", "a\"b\\c\nd").Set(1)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `m{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("escaping wrong: %s", sb.String())
+	}
+}
+
+func TestDuplicateSeriesPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "h", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for duplicate series")
+		}
+	}()
+	r.Counter("dup", "h", "a", "b")
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("conflict", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for type conflict")
+		}
+	}()
+	r.Gauge("conflict", "h")
+}
+
+// TestConcurrentObserveAndScrape hammers the instruments from many
+// goroutines while scraping — the race detector proves the lock-free
+// paths sound, and the final scrape must account for every sample.
+func TestConcurrentObserveAndScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits_total", "h")
+	h := r.Histogram("lat_seconds", "h", DefBuckets)
+	const workers, rounds = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				c.Inc()
+				h.Observe(float64(i%100) / 100)
+				if i%500 == 0 {
+					var sb strings.Builder
+					_ = r.WritePrometheus(&sb)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*rounds {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*rounds)
+	}
+	if h.Count() != workers*rounds {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*rounds)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(DefBuckets...)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Type is a Prometheus metric type.
+type Type string
+
+// The exposition types the registry renders.
+const (
+	TypeCounter   Type = "counter"
+	TypeGauge     Type = "gauge"
+	TypeHistogram Type = "histogram"
+)
+
+// Registry collects instruments and renders them in the Prometheus
+// text exposition format. Instruments are registered once (typically
+// at construction time) and then updated lock-free; only registration
+// and scraping take the registry lock.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is every series sharing one metric name.
+type family struct {
+	name, help string
+	typ        Type
+	series     []*series
+	collectors []func(emit func(v float64, labels ...string))
+}
+
+// series is one static instrument with its pre-rendered label set.
+type series struct {
+	labels  string // rendered `k="v",k2="v2"`, or ""
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family returns (creating if needed) the named family, enforcing one
+// help string and type per name.
+func (r *Registry) family(name, help string, typ Type) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	return f
+}
+
+// addSeries appends a static series, rejecting exact duplicates —
+// two instruments writing one series would render conflicting samples.
+func (f *family) addSeries(s *series) {
+	for _, prev := range f.series {
+		if prev.labels == s.labels {
+			panic(fmt.Sprintf("obs: duplicate series %s{%s}", f.name, s.labels))
+		}
+	}
+	f.series = append(f.series, s)
+}
+
+// Counter registers and returns a counter series. Labels are
+// alternating key/value pairs, rendered once at registration.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := &Counter{}
+	r.family(name, help, TypeCounter).addSeries(&series{labels: renderLabels(labels), counter: c})
+	return c
+}
+
+// Gauge registers and returns a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := &Gauge{}
+	r.family(name, help, TypeGauge).addSeries(&series{labels: renderLabels(labels), gauge: g})
+	return g
+}
+
+// Histogram registers and returns a histogram series over the given
+// ascending upper bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := NewHistogram(bounds...)
+	r.family(name, help, TypeHistogram).addSeries(&series{labels: renderLabels(labels), hist: h})
+	return h
+}
+
+// Collect registers a scrape-time callback for the named family. On
+// every scrape fn runs with an emit function; each emit call renders
+// one sample with the given value and alternating key/value labels.
+// Use it for values whose label sets only exist at scrape time (one
+// series per registered dataset, say) or that are owned elsewhere
+// (cache hit totals read from an engine).
+func (r *Registry) Collect(name, help string, typ Type, fn func(emit func(v float64, labels ...string))) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, typ)
+	f.collectors = append(f.collectors, fn)
+}
+
+// WritePrometheus renders every family in the text exposition format,
+// sorted by metric name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		r.families[name].write(bw)
+	}
+	return bw.Flush()
+}
+
+// Handler serves the exposition over HTTP — mount it at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+func (f *family) write(bw *bufio.Writer) {
+	fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+	fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+	for _, s := range f.series {
+		switch {
+		case s.counter != nil:
+			writeSample(bw, f.name, "", s.labels, float64(s.counter.Value()))
+		case s.gauge != nil:
+			writeSample(bw, f.name, "", s.labels, float64(s.gauge.Value()))
+		case s.hist != nil:
+			writeHistogram(bw, f.name, s.labels, s.hist)
+		}
+	}
+	for _, collect := range f.collectors {
+		collect(func(v float64, labels ...string) {
+			writeSample(bw, f.name, "", renderLabels(labels), v)
+		})
+	}
+}
+
+// writeHistogram renders the cumulative _bucket series plus _sum and
+// _count, the standard Prometheus histogram encoding.
+func writeHistogram(bw *bufio.Writer, name, labels string, h *Histogram) {
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		writeSample(bw, name+"_bucket", `le="`+formatFloat(bound)+`"`, labels, float64(cum))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	writeSample(bw, name+"_bucket", `le="+Inf"`, labels, float64(cum))
+	writeSample(bw, name+"_sum", "", labels, h.Sum())
+	writeSample(bw, name+"_count", "", labels, float64(cum))
+}
+
+// writeSample renders one `name{labels,extra} value` line.
+func writeSample(bw *bufio.Writer, name, extra, labels string, v float64) {
+	bw.WriteString(name)
+	if labels != "" || extra != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		if labels != "" && extra != "" {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(extra)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+// formatFloat renders a sample value: integers plainly, the rest in
+// shortest round-trip form.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// renderLabels renders alternating key/value pairs as
+// `k1="v1",k2="v2"`, escaping values per the exposition format.
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: odd label key/value list")
+	}
+	var sb strings.Builder
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(kv[i])
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(kv[i+1]))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+// escapeLabel escapes backslash, double quote and newline, the three
+// characters the exposition format requires escaping in label values.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

@@ -3,6 +3,7 @@ package registry
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	surf "surf"
 )
@@ -22,6 +23,10 @@ type mergedCache struct {
 	cap   int
 	order *list.List // front = most recently used
 	items map[string]*list.Element
+	// hits and misses are atomics so a metrics scrape never contends
+	// with the query path, mirroring the engine cache.
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 type mergedEntry struct {
@@ -42,10 +47,25 @@ func (c *mergedCache) get(key string) (*surf.Result, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
+		c.misses.Add(1)
 		return nil, false
 	}
+	c.hits.Add(1)
 	c.order.MoveToFront(el)
 	return copyResult(el.Value.(*mergedEntry).res), true
+}
+
+// stats snapshots the cache counters as the engine's CacheStats shape.
+func (c *mergedCache) stats() surf.CacheStats {
+	st := surf.CacheStats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Capacity: c.cap,
+	}
+	c.mu.Lock()
+	st.Entries = c.order.Len()
+	c.mu.Unlock()
+	return st
 }
 
 func (c *mergedCache) put(key string, res *surf.Result) {

@@ -8,6 +8,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 
 	surf "surf"
 )
@@ -147,6 +148,9 @@ type entry struct {
 	// evicted distinguishes "never loaded" from "loaded once, evicted
 	// under capacity pressure" in status reports.
 	evicted bool
+	// loadDur is the wall time of the last completed load (including
+	// any startup training), kept across evictions for telemetry.
+	loadDur time.Duration
 	// inflight counts unreleased Handles; eviction skips busy entries.
 	inflight int
 	lruEl    *list.Element
@@ -345,7 +349,9 @@ func (r *Registry) Acquire(ctx context.Context, name string) (*Handle, error) {
 // by every waiter, so one caller's disconnect must not abort a
 // training run others are waiting on.
 func (r *Registry) load(name string, spec Spec, version int, ch chan struct{}) {
+	start := time.Now()
 	set, err := buildEngineSet(context.Background(), spec, version)
+	dur := time.Since(start)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	defer close(ch)
@@ -358,6 +364,7 @@ func (r *Registry) load(name string, spec Spec, version int, ch chan struct{}) {
 	if e.version != version {
 		return // spec swapped mid-load; discard, next Acquire reloads
 	}
+	e.loadDur = dur
 	if err != nil {
 		e.loadErr = err
 		return
@@ -368,6 +375,33 @@ func (r *Registry) load(name string, spec Spec, version int, ch chan struct{}) {
 	e.set = set
 	e.evicted = false
 	e.lruEl = r.lru.PushFront(e)
+}
+
+// Warm starts loading the named entry without waiting for it: a cold
+// or evicted entry begins its load (sharing it with any concurrent
+// Acquire, exactly as Acquire's own cold path would), while an entry
+// that is ready, already loading, or failed is left alone. It returns
+// immediately in every case. Readiness probes use it so a /readyz
+// check both reports and drives the lazily-loading default dataset
+// toward ready.
+func (r *Registry) Warm(name string) error {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	if e.set != nil || e.loading != nil || e.loadErr != nil {
+		r.mu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{})
+	e.loading = ch
+	e.training = e.spec.Train > 0
+	spec, version := e.spec, e.version
+	r.mu.Unlock()
+	go r.load(name, spec, version, ch)
+	return nil
 }
 
 // release is Handle.Release: the entry becomes evictable again once
@@ -398,6 +432,13 @@ type ModelStatus struct {
 	Err string
 	// InFlight is the number of unreleased handles.
 	InFlight int
+	// LoadSeconds is the wall time of the last completed load,
+	// including any startup training (0 if never loaded).
+	LoadSeconds float64
+	// Cache reports the entry's result cache: the merged-result cache
+	// for sharded entries, the engine's own cache otherwise. Zero
+	// unless ready.
+	Cache surf.CacheStats
 }
 
 // List reports every entry's status, sorted by name.
@@ -407,11 +448,12 @@ func (r *Registry) List() []ModelStatus {
 	out := make([]ModelStatus, 0, len(r.entries))
 	for _, e := range r.entries {
 		st := ModelStatus{
-			Name:     e.name,
-			Version:  e.version,
-			State:    e.state(),
-			Spec:     e.spec,
-			InFlight: e.inflight,
+			Name:        e.name,
+			Version:     e.version,
+			State:       e.state(),
+			Spec:        e.spec,
+			InFlight:    e.inflight,
+			LoadSeconds: e.loadDur.Seconds(),
 		}
 		if e.loadErr != nil {
 			st.Err = e.loadErr.Error()
@@ -421,6 +463,11 @@ func (r *Registry) List() []ModelStatus {
 			st.Surrogate = e.set.engine.HasSurrogate()
 			if info, ok := e.set.engine.SurrogateInfo(); ok {
 				st.Info = &info
+			}
+			if len(e.set.shards) > 0 {
+				st.Cache = e.set.merged.stats()
+			} else {
+				st.Cache = e.set.engine.CacheStats()
 			}
 		}
 		out = append(out, st)

@@ -511,3 +511,67 @@ func TestConcurrentColdAcquiresShareOneLoad(t *testing.T) {
 		}
 	}
 }
+
+// TestWarmTriggersLoad: Warm starts a cold entry's load without
+// waiting; a later Acquire joins it, and the resulting status carries
+// the load duration telemetry.
+func TestWarmTriggersLoad(t *testing.T) {
+	fx := newFixture(t, 300)
+	r := New(0)
+	if err := r.Warm("ghost"); !errors.Is(err, ErrUnknownDataset) {
+		t.Fatalf("warm unknown: got %v, want ErrUnknownDataset", err)
+	}
+	if _, err := r.Register("d", fx.spec(fx.artifactA)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Warm("d"); err != nil {
+		t.Fatal(err)
+	}
+	// Warm is idempotent while the load is in flight or after it lands.
+	if err := r.Warm("d"); err != nil {
+		t.Fatal(err)
+	}
+	h, err := r.Acquire(context.Background(), "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	st, _ := r.Status("d")
+	if st.State != "ready" {
+		t.Fatalf("state after warm+acquire = %q", st.State)
+	}
+	if st.LoadSeconds <= 0 {
+		t.Fatalf("LoadSeconds = %v, want > 0", st.LoadSeconds)
+	}
+}
+
+// TestStatusCacheStats: a ready entry's status reports its result
+// cache; sharded entries report the merged-result cache.
+func TestStatusCacheStats(t *testing.T) {
+	fx := newFixture(t, 300)
+	r := New(0)
+	spec := fx.spec(fx.artifactA)
+	spec.Shards = 2
+	if _, err := r.Register("d", spec); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	h, err := r.Acquire(ctx, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if _, err := h.Find(ctx, fastQuery); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Find(ctx, fastQuery); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := r.Status("d")
+	if st.Cache.Hits != 1 || st.Cache.Misses != 1 || st.Cache.Entries != 1 {
+		t.Fatalf("sharded cache stats = %+v, want 1 hit / 1 miss / 1 entry", st.Cache)
+	}
+	if st.Cache.Capacity != mergedCacheSize {
+		t.Fatalf("sharded cache capacity = %d, want %d", st.Cache.Capacity, mergedCacheSize)
+	}
+}

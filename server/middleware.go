@@ -1,0 +1,164 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// statusRecorder wraps a response writer to capture what the handler
+// did — status code, body bytes, and the dataset the request resolved
+// to — for the metrics and access-log middlewares. Recorders are
+// pooled; withObs owns their lifecycle.
+type statusRecorder struct {
+	http.ResponseWriter
+	status      int
+	bytes       int64
+	wroteHeader bool
+	// dataset is filled by noteDataset once a handler resolves its
+	// routing (including the default-dataset fallback).
+	dataset string
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if !sr.wroteHeader {
+		sr.status = code
+		sr.wroteHeader = true
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if !sr.wroteHeader {
+		sr.status = http.StatusOK
+		sr.wroteHeader = true
+	}
+	n, err := sr.ResponseWriter.Write(p)
+	sr.bytes += int64(n)
+	return n, err
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController, so
+// the SSE handler can flush through the wrapper.
+func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWriter }
+
+var recorderPool = sync.Pool{New: func() any { return &statusRecorder{} }}
+
+// noteDataset records which dataset the request resolved to, for the
+// access log. It is a no-op when w is not the middleware's recorder
+// (a handler mounted without the middleware, or a deeper wrapper).
+func noteDataset(w http.ResponseWriter, dataset string) {
+	if sr, ok := w.(*statusRecorder); ok {
+		sr.dataset = dataset
+	}
+}
+
+// withObs instruments every request: in-flight gauge, per-route
+// request count by status class, latency histogram, response bytes.
+// The route label is the mux pattern that matched (read from
+// r.Pattern after serving, so the mux has routed by then); unmatched
+// requests land on the "other" route.
+//
+// This middleware adds zero heap allocations per request — recorders
+// are pooled and every instrument is pre-registered — an invariant
+// pinned by BenchmarkObsMiddlewareAllocs. Anything that must allocate
+// (request IDs, log lines) lives in withTrace, inside it.
+func (m *serverMetrics) withObs(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sr := recorderPool.Get().(*statusRecorder)
+		*sr = statusRecorder{ResponseWriter: w}
+		m.inFlight.Inc()
+		start := time.Now()
+		next.ServeHTTP(sr, r)
+		elapsed := time.Since(start)
+		m.inFlight.Dec()
+		rm := m.route(r.Pattern)
+		rm.requests[classIndex(sr.status)].Inc()
+		rm.duration.Observe(elapsed.Seconds())
+		rm.bytes.Add(uint64(sr.bytes))
+		recorderPool.Put(sr)
+	})
+}
+
+// idPrefix distinguishes server processes; idCounter distinguishes
+// requests within one. Together they make request IDs like
+// "a1b2c3d4-2f" that are unique across restarts without any
+// per-request randomness.
+var (
+	idPrefix  = newIDPrefix()
+	idCounter atomic.Uint64
+)
+
+func newIDPrefix() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// validRequestID accepts client-supplied X-Request-Id values that are
+// short and JSON/log-safe (letters, digits, dash, underscore, dot).
+// Anything else is replaced, not echoed — the ID is spliced into JSON
+// bodies and log lines verbatim.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// withTrace assigns each request an ID — honoring a well-formed
+// client-sent X-Request-Id, minting one otherwise — exposes it as the
+// X-Request-Id response header (where writeJSON and writeError pick
+// it up), and, when logger is non-nil, emits one structured line per
+// request with route, dataset, status, duration, bytes and the ID.
+func withTrace(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if !validRequestID(id) {
+			id = idPrefix + "-" + strconv.FormatUint(idCounter.Add(1), 16)
+		}
+		// Set before the handler runs: the body writers read it back
+		// from here, and it must be in the headers before WriteHeader.
+		w.Header().Set("X-Request-Id", id)
+		if logger == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		status, bytes, dataset := 0, int64(0), ""
+		if sr, ok := w.(*statusRecorder); ok {
+			status, bytes, dataset = sr.status, sr.bytes, sr.dataset
+		}
+		route := r.Pattern
+		if route == "" {
+			route = "other"
+		}
+		logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("route", route),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("dataset", dataset),
+			slog.Int("status", status),
+			slog.Duration("duration", time.Since(start)),
+			slog.Int64("bytes", bytes),
+			slog.String("request_id", id),
+		)
+	})
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package server
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation assertions skip under it (instrumentation allocates).
+const raceEnabled = false

@@ -143,8 +143,11 @@ func wantStatus(t *testing.T, resp *http.Response, status int, code string) {
 		if err := json.Unmarshal(body, &eb); err != nil {
 			t.Fatalf("error body %q: %v", body, err)
 		}
-		if eb.Code != code {
-			t.Fatalf("error code %q, want %q (%s)", eb.Code, code, body)
+		if eb.Error.Code != code {
+			t.Fatalf("error code %q, want %q (%s)", eb.Error.Code, code, body)
+		}
+		if eb.Error.RequestID == "" {
+			t.Fatalf("error envelope missing request_id: %s", body)
 		}
 	}
 }

@@ -7,7 +7,10 @@
 //	POST /v1/topk            TopKQuery      → Result
 //	POST /v1/findmany        {queries:[…]}  → per-query results
 //	GET  /v1/stream          ?q= / ?topk=   → Server-Sent Events
+//	POST /v1/stream          {q:…}/{topk:…} → Server-Sent Events
 //	GET  /healthz                           → liveness + model status
+//	GET  /readyz                            → readiness (503 until loaded)
+//	GET  /metrics                           → Prometheus text exposition
 //	GET  /v1/models                         → registry listing
 //	GET  /v1/models/{name}                  → one entry's status
 //	PUT  /v1/models/{name}   Spec           → register / hot-swap
@@ -15,17 +18,49 @@
 //
 // A server built with New serves one engine; one built with
 // NewRegistry serves a multi-dataset registry.Registry, routing each
-// query by its "dataset" field (?dataset= for streams) with an
+// query by its "dataset" field (?dataset= for GET streams) with an
 // optional default for requests that name none. The /v1/models admin
 // API and per-dataset /healthz reporting are registry-mode features;
 // a single-engine server answers them 404 ("no_registry").
 //
-// Sentinel errors map onto HTTP statuses: ErrBadQuery (and other
-// client mistakes) → 400, registry.ErrBadSpec → 400, ErrNoSurrogate →
-// 409 (the engine exists but cannot serve surrogate queries yet —
-// train or load first), ErrBadArtifact → 422, an unknown dataset →
-// 404, an oversized request body → 413. Every error body is
-// {"error": …, "code": …}.
+// # Request IDs and the error envelope
+//
+// Every request gets an ID — a well-formed client-sent X-Request-Id
+// header is honored, otherwise one is minted — echoed in the
+// X-Request-Id response header and as the "request_id" field of every
+// JSON response body, success and error alike. Errors share one
+// envelope:
+//
+//	{"error": {"code": "bad_query", "message": "…", "request_id": "…"}, "request_id": "…"}
+//
+// The code is stable and machine-readable; the full set:
+//
+//	code             status  meaning
+//	bad_query        400     malformed body/parameters, or invalid query (surf.ErrBadQuery)
+//	dim_mismatch     400     query geometry disagrees with the engine dims (surf.ErrDimMismatch)
+//	bad_spec         400     model spec that can never load (registry.ErrBadSpec)
+//	unknown_dataset  404     dataset name with no registry entry (registry.ErrUnknownDataset)
+//	no_registry      404     admin/routing request on a single-engine server
+//	body_too_large   413     request body over the 1 MiB bound
+//	no_surrogate     409     engine cannot serve surrogate queries yet (surf.ErrNoSurrogate)
+//	bad_artifact     422     artifact rejected by its spec check (surf.ErrBadArtifact)
+//	timeout          504     query deadline exceeded
+//	canceled         499     client disconnected mid-query
+//	unready          503     /readyz while the gating datasets are not ready
+//	internal         500     anything else
+//
+// # Observability
+//
+// GET /metrics exposes the internal/obs registry in Prometheus text
+// format: per-route request counts by status class, latency
+// histograms and response bytes, the in-flight request gauge, SSE
+// events emitted, result-cache hit/miss counters, and per-dataset
+// registry state (lifecycle state, version, rows, in-flight handles,
+// load duration). WithAccessLogger adds one structured slog line per
+// request. GET /healthz stays pure liveness — it answers 200 the
+// moment the process serves — while GET /readyz answers 503 until the
+// default dataset (or, with no default, every registered dataset) is
+// ready, kicking lazy loads so readiness converges without traffic.
 //
 // Each request runs under its own context: a client that disconnects
 // mid-query (or mid-stream) cancels the underlying swarm within one
@@ -39,6 +74,7 @@ import (
 	"errors"
 	"fmt"
 	"iter"
+	"log/slog"
 	"net"
 	"net/http"
 	"strings"
@@ -71,23 +107,49 @@ type Server struct {
 	reg            *registry.Registry
 	defaultDataset string
 	mux            *http.ServeMux
+	metrics        *serverMetrics
+	logger         *slog.Logger
+	handler        http.Handler
+}
+
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithAccessLogger emits one structured log line per request (route,
+// dataset, status, duration, bytes, request ID) through logger. nil
+// disables access logging (the default).
+func WithAccessLogger(logger *slog.Logger) Option {
+	return func(s *Server) { s.logger = logger }
 }
 
 // New wraps a single engine in the HTTP API. Requests carrying a
 // "dataset" field answer 404: there is no registry to route by.
-func New(eng *surf.Engine) *Server {
+func New(eng *surf.Engine, opts ...Option) *Server {
 	s := &Server{eng: eng}
-	s.routes()
+	s.init(opts)
 	return s
 }
 
 // NewRegistry serves a multi-dataset registry. Requests route by their
-// "dataset" field (?dataset= for streams); requests naming none use
-// defaultDataset, or answer 400 when it is empty.
-func NewRegistry(reg *registry.Registry, defaultDataset string) *Server {
+// "dataset" field (?dataset= for GET streams); requests naming none
+// use defaultDataset, or answer 400 when it is empty.
+func NewRegistry(reg *registry.Registry, defaultDataset string, opts ...Option) *Server {
 	s := &Server{reg: reg, defaultDataset: defaultDataset}
-	s.routes()
+	s.init(opts)
 	return s
+}
+
+func (s *Server) init(opts []Option) {
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.metrics = newServerMetrics(s.eng, s.reg)
+	s.routes()
+	// The observability chain: metrics outermost (it owns the pooled
+	// status recorder the inner layers read), then request tracing,
+	// then the mux. The mux stamps r.Pattern during routing, so both
+	// middlewares read the matched route after serving.
+	s.handler = s.metrics.withObs(withTrace(s.logger, s.mux))
 }
 
 func (s *Server) routes() {
@@ -95,16 +157,20 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/find", s.handleFind)
 	s.mux.HandleFunc("POST /v1/topk", s.handleTopK)
 	s.mux.HandleFunc("POST /v1/findmany", s.handleFindMany)
-	s.mux.HandleFunc("GET /v1/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/stream", s.handleStreamGet)
+	s.mux.HandleFunc("POST /v1/stream", s.handleStreamPost)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.Handle("GET /metrics", s.metrics.handler())
 	s.mux.HandleFunc("GET /v1/models", s.handleModelsList)
 	s.mux.HandleFunc("GET /v1/models/{name}", s.handleModelGet)
 	s.mux.HandleFunc("PUT /v1/models/{name}", s.handleModelPut)
 	s.mux.HandleFunc("DELETE /v1/models/{name}", s.handleModelDelete)
 }
 
-// Handler returns the server's routes as a standard http.Handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's routes, wrapped in the metrics and
+// request-tracing middleware, as a standard http.Handler.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Serve accepts connections on l until ctx is cancelled, then shuts
 // down gracefully: the listener closes, request contexts (derived
@@ -182,11 +248,16 @@ var errNoRegistry = errors.New("server: not serving a model registry")
 // errBodyTooLarge maps an over-limit request body to 413.
 var errBodyTooLarge = errors.New("server: request body too large")
 
+// errUnready is the /readyz failure; it exists so statusFor covers
+// every status the server emits.
+var errUnready = errors.New("server: not ready")
+
 // acquire resolves the request's dataset to an executor plus the
-// release to defer. Single-engine servers reject any explicit dataset
-// (there is no registry to route by); registry servers fall back to
-// the default dataset, if any, and otherwise require one.
-func (s *Server) acquire(ctx context.Context, dataset string) (executor, func(), error) {
+// release to defer, noting the resolved name on w for the access log.
+// Single-engine servers reject any explicit dataset (there is no
+// registry to route by); registry servers fall back to the default
+// dataset, if any, and otherwise require one.
+func (s *Server) acquire(ctx context.Context, w http.ResponseWriter, dataset string) (executor, func(), error) {
 	if s.reg == nil {
 		if dataset != "" {
 			return nil, nil, fmt.Errorf("%w: %q (single-dataset server)", registry.ErrUnknownDataset, dataset)
@@ -199,6 +270,7 @@ func (s *Server) acquire(ctx context.Context, dataset string) (executor, func(),
 			return nil, nil, fmt.Errorf("%w: no dataset named and the server has no default", surf.ErrBadQuery)
 		}
 	}
+	noteDataset(w, dataset)
 	h, err := s.reg.Acquire(ctx, dataset)
 	if err != nil {
 		return nil, nil, err
@@ -206,14 +278,21 @@ func (s *Server) acquire(ctx context.Context, dataset string) (executor, func(),
 	return h, h.Release, nil
 }
 
-// errorBody is the JSON error envelope.
+// errorBody is the unified JSON error envelope: every error response,
+// on every route, is {"error": {"code", "message", "request_id"}}.
 type errorBody struct {
-	Error string `json:"error"`
-	Code  string `json:"code"`
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // statusFor maps an engine or registry error to an HTTP status and a
-// stable machine-readable code.
+// stable machine-readable code. The code table in the package
+// documentation mirrors this switch; keep them in step.
 func statusFor(err error) (int, string) {
 	switch {
 	case errors.Is(err, surf.ErrBadQuery),
@@ -234,6 +313,8 @@ func statusFor(err error) (int, string) {
 		return http.StatusConflict, "no_surrogate"
 	case errors.Is(err, surf.ErrBadArtifact):
 		return http.StatusUnprocessableEntity, "bad_artifact"
+	case errors.Is(err, errUnready):
+		return http.StatusServiceUnavailable, "unready"
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, "timeout"
 	case errors.Is(err, context.Canceled):
@@ -247,14 +328,42 @@ func statusFor(err error) (int, string) {
 // writeError sends the JSON error envelope for err.
 func writeError(w http.ResponseWriter, err error) {
 	status, code := statusFor(err)
-	writeJSON(w, status, errorBody{Error: err.Error(), Code: code})
+	writeJSON(w, status, errorBody{Error: errorDetail{
+		Code:      code,
+		Message:   err.Error(),
+		RequestID: w.Header().Get("X-Request-Id"),
+	}})
 }
 
-// writeJSON sends v with the given status.
+// writeJSON sends v with the given status, splicing the request ID
+// (from the X-Request-Id header the trace middleware set) into the
+// top-level object. Splicing — rather than wrapping v in a struct —
+// keeps the types with custom MarshalJSON (Result, Region) intact:
+// embedding them would promote their marshaler and silently drop the
+// sibling field.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":{"code":"internal","message":"response encoding failed"}}`,
+			http.StatusInternalServerError)
+		return
+	}
+	if id := w.Header().Get("X-Request-Id"); id != "" && len(data) >= 2 && data[0] == '{' {
+		patched := make([]byte, 0, len(data)+len(id)+18)
+		patched = append(patched, '{')
+		patched = append(patched, `"request_id":"`...)
+		patched = append(patched, id...) // IDs are validated [A-Za-z0-9._-], JSON-safe
+		patched = append(patched, '"')
+		if data[1] != '}' {
+			patched = append(patched, ',')
+		}
+		patched = append(patched, data[1:]...)
+		data = patched
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(data)
+	_, _ = w.Write([]byte{'\n'})
 }
 
 // decodeBody strictly decodes a JSON request body into v, bounding it
@@ -274,8 +383,9 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 }
 
 // decodeStrict is decodeBody's policy for queries that arrive in URL
-// parameters: unknown fields are rejected, so a typoed knob fails
-// loudly instead of silently running a default-valued query.
+// parameters or raw JSON fragments: unknown fields are rejected, so a
+// typoed knob fails loudly instead of silently running a
+// default-valued query.
 func decodeStrict(data string, v any) error {
 	dec := json.NewDecoder(strings.NewReader(data))
 	dec.DisallowUnknownFields()
@@ -301,7 +411,7 @@ func (s *Server) handleFind(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	ex, release, err := s.acquire(r.Context(), req.Dataset)
+	ex, release, err := s.acquire(r.Context(), w, req.Dataset)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -322,7 +432,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	ex, release, err := s.acquire(r.Context(), req.Dataset)
+	ex, release, err := s.acquire(r.Context(), w, req.Dataset)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -372,7 +482,7 @@ func (s *Server) handleFindMany(w http.ResponseWriter, r *http.Request) {
 			surf.ErrBadQuery, len(req.Queries), maxFindManyQueries))
 		return
 	}
-	ex, release, err := s.acquire(r.Context(), req.Dataset)
+	ex, release, err := s.acquire(r.Context(), w, req.Dataset)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -394,11 +504,43 @@ func (s *Server) handleFindMany(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// handleStream runs one query as a Server-Sent Events stream. The
+// streamRequest is the POST /v1/stream body: exactly one of q (a
+// Query) and topk (a TopKQuery), plus the registry routing field —
+// the same query JSON the GET form carries in its URL parameters,
+// moved into the body for filter sets too large to URL-encode.
+type streamRequest struct {
+	Dataset string          `json:"dataset,omitempty"`
+	Q       json.RawMessage `json:"q,omitempty"`
+	TopK    json.RawMessage `json:"topk,omitempty"`
+}
+
+// handleStreamGet runs one query as a Server-Sent Events stream. The
 // query rides in the URL — ?q={Query JSON} for threshold queries,
 // ?topk={TopKQuery JSON} for top-k, plus ?dataset={name} on a
 // registry server — because EventSource clients can only issue plain
-// GETs. Each event is emitted as
+// GETs.
+func (s *Server) handleStreamGet(w http.ResponseWriter, r *http.Request) {
+	s.serveStream(w, r, streamRequest{
+		Dataset: r.URL.Query().Get("dataset"),
+		Q:       json.RawMessage(r.URL.Query().Get("q")),
+		TopK:    json.RawMessage(r.URL.Query().Get("topk")),
+	})
+}
+
+// handleStreamPost is the GET form with the parameters as a JSON body,
+// for queries too large to URL-encode. Both forms produce the same
+// event stream.
+func (s *Server) handleStreamPost(w http.ResponseWriter, r *http.Request) {
+	var req streamRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.serveStream(w, r, req)
+}
+
+// serveStream is the single SSE execution path behind both stream
+// routes. Each event is emitted as
 //
 //	event: iteration|region|done
 //	data: {…}
@@ -408,19 +550,21 @@ func (s *Server) handleFindMany(w http.ResponseWriter, r *http.Request) {
 // support can dispatch on the payload alone). The stream ends after
 // "done"; a client that disconnects earlier cancels the swarm within
 // one iteration.
-func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
-	qParam := r.URL.Query().Get("q")
-	topkParam := r.URL.Query().Get("topk")
-	if (qParam == "") == (topkParam == "") {
-		writeError(w, fmt.Errorf("%w: exactly one of q= and topk= is required", surf.ErrBadQuery))
+func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, req streamRequest) {
+	if (len(req.Q) == 0) == (len(req.TopK) == 0) {
+		writeError(w, fmt.Errorf("%w: exactly one of q and topk is required", surf.ErrBadQuery))
 		return
 	}
-	flusher, ok := w.(http.Flusher)
-	if !ok {
+	// Flushing goes through ResponseController, which unwraps the
+	// middleware's recorder. Probe the capability by walking the
+	// Unwrap chain — calling Flush here would commit a 200 before the
+	// query even validates.
+	if !canFlush(w) {
 		writeError(w, errors.New("server: response writer cannot stream"))
 		return
 	}
-	ex, release, err := s.acquire(r.Context(), r.URL.Query().Get("dataset"))
+	rc := http.NewResponseController(w)
+	ex, release, err := s.acquire(r.Context(), w, req.Dataset)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -428,16 +572,16 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	defer release()
 
 	var st *surf.Stream
-	if qParam != "" {
+	if len(req.Q) > 0 {
 		var q surf.Query
-		if jerr := decodeStrict(qParam, &q); jerr != nil {
+		if jerr := decodeStrict(string(req.Q), &q); jerr != nil {
 			writeError(w, fmt.Errorf("%w: q: %v", surf.ErrBadQuery, jerr))
 			return
 		}
 		st, err = ex.Stream(r.Context(), q)
 	} else {
 		var q surf.TopKQuery
-		if jerr := decodeStrict(topkParam, &q); jerr != nil {
+		if jerr := decodeStrict(string(req.TopK), &q); jerr != nil {
 			writeError(w, fmt.Errorf("%w: topk: %v", surf.ErrBadQuery, jerr))
 			return
 		}
@@ -454,7 +598,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	h.Set("Cache-Control", "no-cache")
 	h.Set("X-Accel-Buffering", "no") // defeat proxy buffering
 	w.WriteHeader(http.StatusOK)
-	flusher.Flush()
+	_ = rc.Flush()
 
 	for ev, err := range st.Events() {
 		if err != nil {
@@ -462,13 +606,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			// connection is still up, surface the failure as a
 			// terminal SSE comment; headers are long gone.
 			fmt.Fprintf(w, ": stream error: %v\n\n", err)
-			flusher.Flush()
+			_ = rc.Flush()
 			return
 		}
 		payload, merr := surf.MarshalEvent(ev)
 		if merr != nil {
 			fmt.Fprintf(w, ": encode error: %v\n\n", merr)
-			flusher.Flush()
+			_ = rc.Flush()
 			return
 		}
 		name := "iteration"
@@ -481,7 +625,23 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		if _, werr := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, payload); werr != nil {
 			return // client gone; st.Events' deferred Close stops the swarm
 		}
-		flusher.Flush()
+		s.metrics.sseEvents.Inc()
+		_ = rc.Flush()
+	}
+}
+
+// canFlush reports whether w (or any writer it wraps, following the
+// ResponseController Unwrap convention) supports http.Flusher.
+func canFlush(w http.ResponseWriter) bool {
+	for {
+		if _, ok := w.(http.Flusher); ok {
+			return true
+		}
+		u, ok := w.(interface{ Unwrap() http.ResponseWriter })
+		if !ok {
+			return false
+		}
+		w = u.Unwrap()
 	}
 }
 
@@ -501,6 +661,13 @@ type modelBody struct {
 	SurrogateInfo *surrogateInfoBody `json:"surrogate_info,omitempty"`
 	Error         string             `json:"error,omitempty"`
 	InFlight      int                `json:"in_flight,omitempty"`
+	// LoadSeconds is the last completed load's wall time, including
+	// startup training (omitted if never loaded).
+	LoadSeconds float64 `json:"load_seconds,omitempty"`
+	// Cache is the entry's result-cache counters (omitted unless
+	// ready): the merged-result cache for sharded entries, the
+	// engine's own cache otherwise.
+	Cache *surf.CacheStats `json:"cache,omitempty"`
 }
 
 type surrogateInfoBody struct {
@@ -513,14 +680,19 @@ type surrogateInfoBody struct {
 
 func modelBodyFor(st registry.ModelStatus) modelBody {
 	b := modelBody{
-		Name:      st.Name,
-		Version:   st.Version,
-		State:     st.State,
-		Spec:      st.Spec,
-		Rows:      st.Rows,
-		Surrogate: st.Surrogate,
-		Error:     st.Err,
-		InFlight:  st.InFlight,
+		Name:        st.Name,
+		Version:     st.Version,
+		State:       st.State,
+		Spec:        st.Spec,
+		Rows:        st.Rows,
+		Surrogate:   st.Surrogate,
+		Error:       st.Err,
+		InFlight:    st.InFlight,
+		LoadSeconds: st.LoadSeconds,
+	}
+	if st.State == "ready" {
+		cache := st.Cache
+		b.Cache = &cache
 	}
 	if st.Info != nil {
 		b.SurrogateInfo = &surrogateInfoBody{
@@ -627,11 +799,13 @@ type registryHealthzBody struct {
 	Datasets []modelBody `json:"datasets"`
 }
 
-// handleHealthz reports liveness. A single-engine server reports
-// whether its engine can serve surrogate queries (surrogate-less
-// engines still answer use_true_function queries); a registry server
-// reports every dataset's name, version and lifecycle state
-// (unloaded, loading, training, ready, failed, evicted).
+// handleHealthz reports liveness — it answers 200 whenever the process
+// serves, never gating on model state (that is /readyz's job). A
+// single-engine server reports whether its engine can serve surrogate
+// queries (surrogate-less engines still answer use_true_function
+// queries); a registry server reports every dataset's name, version
+// and lifecycle state (unloaded, loading, training, ready, failed,
+// evicted).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.reg == nil {
 		body := healthzBody{Status: "ok", Dims: s.eng.Dims(), Surrogate: s.eng.HasSurrogate()}
@@ -646,6 +820,61 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	body := registryHealthzBody{Status: "ok", Default: s.defaultDataset, Datasets: make([]modelBody, 0, len(statuses))}
 	for _, st := range statuses {
 		body.Datasets = append(body.Datasets, modelBodyFor(st))
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// readyzBody is the /readyz response: the gating datasets and their
+// states, with status "ready" (200) or "unready" (503).
+type readyzBody struct {
+	Status   string        `json:"status"`
+	Datasets []readyzState `json:"datasets,omitempty"`
+}
+
+type readyzState struct {
+	Name  string `json:"name"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+// handleReadyz reports readiness for load-balancer integration: 200
+// exactly when the gating datasets — the default dataset if one is
+// configured, every registered dataset otherwise — are ready, 503
+// until then. Because registry entries load lazily, each probe also
+// kicks (Registry.Warm) the loads of cold gating entries, so a
+// freshly started server converges to ready under health checks
+// alone, without waiting for query traffic. A single-engine server is
+// ready as soon as it serves: its engine was fully constructed before
+// the listener opened.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		writeJSON(w, http.StatusOK, readyzBody{Status: "ready"})
+		return
+	}
+	var gating []registry.ModelStatus
+	if s.defaultDataset != "" {
+		st, err := s.reg.Status(s.defaultDataset)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		gating = []registry.ModelStatus{st}
+	} else {
+		gating = s.reg.List()
+	}
+	body := readyzBody{Status: "ready", Datasets: make([]readyzState, 0, len(gating))}
+	ready := true
+	for _, st := range gating {
+		if st.State != "ready" {
+			ready = false
+			_ = s.reg.Warm(st.Name)
+		}
+		body.Datasets = append(body.Datasets, readyzState{Name: st.Name, State: st.State, Error: st.Err})
+	}
+	if !ready {
+		body.Status = "unready"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
 	}
 	writeJSON(w, http.StatusOK, body)
 }

@@ -145,10 +145,13 @@ func TestErrorMapping(t *testing.T) {
 
 	t.Run("no surrogate → 409", func(t *testing.T) {
 		resp := postJSON(t, ts.URL+"/v1/find", smallQuery)
-		var e struct{ Error, Code string }
+		var e errorBody
 		decodeResponse(t, resp, &e)
-		if resp.StatusCode != http.StatusConflict || e.Code != "no_surrogate" {
-			t.Fatalf("status %d code %q", resp.StatusCode, e.Code)
+		if resp.StatusCode != http.StatusConflict || e.Error.Code != "no_surrogate" {
+			t.Fatalf("status %d code %q", resp.StatusCode, e.Error.Code)
+		}
+		if e.Error.Message == "" || e.Error.RequestID == "" {
+			t.Fatalf("incomplete envelope: %+v", e)
 		}
 	})
 	t.Run("bad query → 400", func(t *testing.T) {
@@ -156,10 +159,10 @@ func TestErrorMapping(t *testing.T) {
 		q.MaxRegions = -1
 		q.UseTrueFunction = true
 		resp := postJSON(t, ts.URL+"/v1/find", q)
-		var e struct{ Error, Code string }
+		var e errorBody
 		decodeResponse(t, resp, &e)
-		if resp.StatusCode != http.StatusBadRequest || e.Code != "bad_query" {
-			t.Fatalf("status %d code %q", resp.StatusCode, e.Code)
+		if resp.StatusCode != http.StatusBadRequest || e.Error.Code != "bad_query" {
+			t.Fatalf("status %d code %q", resp.StatusCode, e.Error.Code)
 		}
 	})
 	t.Run("malformed body → 400", func(t *testing.T) {
