@@ -1,0 +1,59 @@
+GO ?= go
+
+# Versions of the external dev tools come from tools/go.mod — edit
+# the require block there, never the install lines here.
+STATICCHECK_VERSION = $(shell awk '$$1 == "honnef.co/go/tools" {print $$2}' tools/go.mod)
+GOVULNCHECK_VERSION = $(shell awk '$$1 == "golang.org/x/vuln" {print $$2}' tools/go.mod)
+
+.PHONY: all build test lint fmt vet surf-lint tools staticcheck vulncheck fuzz-smoke clean
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+	cd lint && $(GO) build ./...
+
+test:
+	$(GO) test ./...
+	cd lint && $(GO) test ./...
+
+# lint is the local entrypoint CI mirrors: gofmt, go vet, then the
+# surf-lint analyzer suite over both modules. Requires only the go
+# toolchain — no network, no installed tools.
+lint: fmt vet surf-lint
+	bin/surf-lint ./...
+	bin/surf-lint -C lint ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+	cd lint && $(GO) vet ./...
+
+surf-lint:
+	@mkdir -p bin
+	cd lint && $(GO) build -o ../bin/surf-lint ./cmd/surf-lint
+
+# tools installs the pinned external checkers (network required).
+tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+
+staticcheck:
+	staticcheck ./...
+
+vulncheck:
+	govulncheck ./...
+
+# fuzz-smoke mirrors the CI randomized pass over the CSV readers and
+# the evaluator parity differential; crashers minimize into
+# testdata/fuzz corpus files, which are checked in.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzReadCSVDataset' -fuzztime 10s .
+	$(GO) test -run '^$$' -fuzz 'FuzzReadWorkloadCSV' -fuzztime 10s .
+	$(GO) test -run '^$$' -fuzz 'FuzzEvaluatorParity' -fuzztime 10s ./internal/dataset
+
+clean:
+	rm -rf bin

@@ -172,4 +172,17 @@
 // Find/FindTopK against the same surrogate snapshot is answered
 // without re-running the swarm, and the cache clears on every
 // train/load so no stale model's results are served.
+//
+// # Machine-checked invariants
+//
+// The concurrency and determinism rules above are enforced by a
+// custom analyzer suite in the lint module (lint/cmd/surf-lint, run
+// by `make lint` and CI): contexts must flow into every cancellable
+// call (ctxflow), atomic snapshot fields move only through their
+// atomic method set (atomicsnap), code marked //surf:deterministic
+// stays reproducible (detrain), server errors stay inside the JSON
+// envelope (errenvelope), and metric labels stay bounded (obslabel).
+// Deliberate exceptions are annotated in-tree as
+// //lint:allow <analyzer>: <reason>; the README's "Correctness
+// tooling" section documents each analyzer and its motivating bug.
 package surf

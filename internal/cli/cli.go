@@ -18,6 +18,7 @@ import (
 // uninterruptible phase. The returned stop function releases the
 // signal registration early.
 func SignalContext() (context.Context, context.CancelFunc) {
+	//lint:allow ctxflow: process root — the signal context is where ctx originates, there is no caller context to thread
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-ctx.Done()

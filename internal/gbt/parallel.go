@@ -1,3 +1,5 @@
+//surf:deterministic (training is CI-gated byte-identical for any Workers count)
+
 package gbt
 
 import (

@@ -1,3 +1,5 @@
+//surf:deterministic (training is CI-gated byte-identical for any Workers count)
+
 package gbt
 
 // tree is one regression tree stored as a flat node slice (index 0 is

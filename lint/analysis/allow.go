@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Allow is one parsed //lint:allow escape comment. The grammar is
+//
+//	//lint:allow <analyzer>: <reason>
+//
+// — exactly one analyzer name, a colon, and a non-empty reason. An
+// allow suppresses that analyzer's diagnostics on its own line and on
+// the line directly below it (so it can sit at the end of the flagged
+// line or on its own line immediately above).
+type Allow struct {
+	Pos      token.Pos
+	Line     int
+	Analyzer string
+	Reason   string
+	// Bare marks a syntactically broken allow: missing name, missing
+	// colon, or empty reason. Bare allows suppress nothing and are
+	// themselves diagnosed (by the lintallow analyzer).
+	Bare bool
+}
+
+const allowPrefix = "//lint:allow"
+
+// ParseAllows extracts every //lint:allow comment from a file.
+func ParseAllows(fset *token.FileSet, file *ast.File) []Allow {
+	var out []Allow
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, allowPrefix)
+			if !ok {
+				continue
+			}
+			a := Allow{Pos: c.Pos(), Line: fset.Position(c.Pos()).Line}
+			name, reason, hasColon := strings.Cut(text, ":")
+			a.Analyzer = strings.TrimSpace(name)
+			a.Reason = strings.TrimSpace(reason)
+			if a.Analyzer == "" || !hasColon || a.Reason == "" ||
+				strings.ContainsAny(a.Analyzer, " \t,") {
+				a.Bare = true
+			}
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// FilterAllows drops diagnostics suppressed by a well-formed
+// //lint:allow comment for the named analyzer and reports which
+// allows matched at least one diagnostic. used has one entry per
+// element of allows.
+func FilterAllows(fset *token.FileSet, allows []Allow, analyzer string, diags []Diagnostic) (kept []Diagnostic, used []bool) {
+	used = make([]bool, len(allows))
+	for _, d := range diags {
+		line := fset.Position(d.Pos).Line
+		suppressed := false
+		for i, a := range allows {
+			if a.Bare || a.Analyzer != analyzer {
+				continue
+			}
+			if line == a.Line || line == a.Line+1 {
+				suppressed = true
+				used[i] = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept, used
+}

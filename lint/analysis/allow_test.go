@@ -1,0 +1,81 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"surf/lint/analysis"
+)
+
+func parseFile(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestParseAllowsGrammar(t *testing.T) {
+	fset, f := parseFile(t, `package p
+
+//lint:allow ctxflow: the shared load must outlive one caller
+//lint:allow ctxflow
+//lint:allow ctxflow:
+//lint:allow : reason without a name
+//lint:allow ctxflow,detrain: one allow per analyzer
+// an unrelated comment
+var x int
+`)
+	allows := analysis.ParseAllows(fset, f)
+	if len(allows) != 5 {
+		t.Fatalf("got %d allows, want 5: %+v", len(allows), allows)
+	}
+	well := allows[0]
+	if well.Bare || well.Analyzer != "ctxflow" || well.Reason != "the shared load must outlive one caller" {
+		t.Errorf("well-formed allow parsed wrong: %+v", well)
+	}
+	if well.Line != 3 {
+		t.Errorf("allow line = %d, want 3", well.Line)
+	}
+	for i, a := range allows[1:] {
+		if !a.Bare {
+			t.Errorf("allow %d should be bare: %+v", i+1, a)
+		}
+	}
+}
+
+func TestFilterAllowsAdjacency(t *testing.T) {
+	fset, f := parseFile(t, `package p
+
+//lint:allow ctxflow: covers this line and the next
+var a int
+var b int
+`)
+	allows := analysis.ParseAllows(fset, f)
+	if len(allows) != 1 {
+		t.Fatalf("got %d allows, want 1", len(allows))
+	}
+	lineStart := func(n int) token.Pos { return fset.File(f.Pos()).LineStart(n) }
+	diags := []analysis.Diagnostic{
+		{Pos: lineStart(3), Message: "on the allow line"},
+		{Pos: lineStart(4), Message: "directly below"},
+		{Pos: lineStart(5), Message: "out of range"},
+	}
+	kept, used := analysis.FilterAllows(fset, allows, "ctxflow", diags)
+	if len(kept) != 1 || kept[0].Message != "out of range" {
+		t.Errorf("kept = %+v, want only the out-of-range diagnostic", kept)
+	}
+	if !used[0] {
+		t.Error("allow should be marked used")
+	}
+
+	// The same allow does nothing for a different analyzer.
+	kept, used = analysis.FilterAllows(fset, allows, "detrain", diags)
+	if len(kept) != 3 || used[0] {
+		t.Errorf("cross-analyzer filtering: kept %d (want 3), used=%v (want false)", len(kept), used[0])
+	}
+}

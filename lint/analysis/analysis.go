@@ -1,0 +1,70 @@
+// Package analysis is a dependency-free miniature of
+// golang.org/x/tools/go/analysis: just enough framework — Analyzer,
+// Pass, Diagnostic, a go/types-backed package loader and an
+// allow-comment filter — to host surf's custom analyzers without
+// pulling a module dependency into the repository. The build
+// environment is fully offline, so the x/tools suite cannot be
+// vendored; the API below mirrors its shape so the analyzers port
+// 1:1 if that ever changes.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Run inspects a single
+// type-checked package through its Pass and reports findings with
+// pass.Report / pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in
+	// //lint:allow <name>: <reason> escape comments. It must be a
+	// valid identifier.
+	Name string
+	// Doc is the one-paragraph description printed by surf-lint -list:
+	// what invariant the analyzer enforces and which historical bug
+	// motivated it.
+	Doc string
+	// Run performs the check over one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. The driver installs it; analyzer
+	// code should use it (or Reportf) for every finding.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position in the package's file set and
+// a human-readable message.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is a resolved diagnostic as the driver emits it: the
+// analyzer that produced it plus its file position.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+// String renders the finding in the conventional
+// path:line:col: message [analyzer] form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Position, f.Message, f.Analyzer)
+}

@@ -1,0 +1,217 @@
+// Package analysistest runs an analyzer over fixture packages laid
+// out GOPATH-style under testdata/src/<pkg>/ and checks its
+// diagnostics against // want comments, mirroring the x/tools
+// analysistest contract:
+//
+//	bad()  // want `regexp matching the diagnostic`
+//
+// A line may carry several want patterns (each in backquotes or
+// double quotes); diagnostics and wants on one line must match one to
+// one. The block form `/* want ... */` is equivalent and exists for
+// lines whose diagnostic sits on a line comment itself (a bare or
+// stale //lint:allow), where a second line comment cannot follow.
+// Fixture packages may import each other by their path under
+// testdata/src; std imports type-check from source, offline.
+//
+// The harness applies the driver's //lint:allow filtering before
+// matching, so fixtures both prove an analyzer fires and prove its
+// escape hatch (and the stale-escape detection) behave.
+package analysistest
+
+import (
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"surf/lint/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		panic("analysistest: no caller information")
+	}
+	dir, err := filepath.Abs(filepath.Join(filepath.Dir(file), "testdata"))
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// fixtureImporter resolves fixture packages from testdata/src and
+// everything else through the stdlib source importer.
+type fixtureImporter struct {
+	root string
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*analysis.Package
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	pkg, err := fi.load(path)
+	if err == errNotFixture {
+		return fi.std.Import(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+var errNotFixture = fmt.Errorf("not a fixture package")
+
+// load type-checks the fixture package at testdata/src/<path>,
+// memoized so mutually importing fixtures share one types.Package.
+func (fi *fixtureImporter) load(path string) (*analysis.Package, error) {
+	if pkg, ok := fi.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(fi.root, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, errNotFixture
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, errNotFixture
+	}
+	pkg, err := analysis.TypeCheck(fi.fset, fi, path, files)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = dir
+	fi.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Run loads the fixture package at testdata/src/<pkgPath>, runs the
+// analyzer, applies //lint:allow filtering plus stale-allow
+// detection, and compares the result against the fixture's // want
+// comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	fi := &fixtureImporter{
+		root: testdata,
+		fset: token.NewFileSet(),
+		pkgs: map[string]*analysis.Package{},
+	}
+	fi.std = importer.ForCompiler(fi.fset, "source", nil)
+	pkg, err := fi.load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+
+	findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	got := map[key][]string{}
+	for _, f := range findings {
+		k := key{f.Position.Filename, f.Position.Line}
+		got[k] = append(got[k], f.Message)
+	}
+
+	wants, err := parseWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, patterns := range wants {
+		msgs := got[k]
+		delete(got, k)
+		if len(msgs) != len(patterns) {
+			t.Errorf("%s:%d: got %d diagnostics %q, want %d matching %v",
+				k.file, k.line, len(msgs), msgs, len(patterns), patterns)
+			continue
+		}
+		remaining := append([]string(nil), msgs...)
+		for _, p := range patterns {
+			matched := -1
+			for i, m := range remaining {
+				if p.MatchString(m) {
+					matched = i
+					break
+				}
+			}
+			if matched < 0 {
+				t.Errorf("%s:%d: no diagnostic matches %q among %q", k.file, k.line, p, remaining)
+				continue
+			}
+			remaining = append(remaining[:matched], remaining[matched+1:]...)
+		}
+	}
+	for k, msgs := range got {
+		sort.Strings(msgs)
+		for _, m := range msgs {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, m)
+		}
+	}
+}
+
+// wantRE pulls the quoted patterns out of a // want comment.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// parseWants collects the // want expectations of every fixture file,
+// keyed by (file, line).
+func parseWants(pkg *analysis.Package) (map[struct {
+	file string
+	line int
+}][]*regexp.Regexp, error) {
+	type key = struct {
+		file string
+		line int
+	}
+	out := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					if rest, ok = strings.CutPrefix(c.Text, "/* want "); ok {
+						rest = strings.TrimSuffix(rest, "*/")
+					}
+				}
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				matches := wantRE.FindAllStringSubmatch(rest, -1)
+				if len(matches) == 0 {
+					return nil, fmt.Errorf("%s:%d: // want comment with no quoted pattern", pos.Filename, pos.Line)
+				}
+				for _, m := range matches {
+					text := m[1]
+					if m[2] != "" {
+						text = m[2]
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, text, err)
+					}
+					k := key{pos.Filename, pos.Line}
+					out[k] = append(out[k], re)
+				}
+			}
+		}
+	}
+	return out, nil
+}

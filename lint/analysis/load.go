@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+func init() {
+	// Resolve the whole build — including the std packages the source
+	// importer type-checks on demand — without cgo, so loading needs
+	// no C toolchain and behaves identically offline and in CI.
+	build.Default.CgoEnabled = false
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (./..., package paths) with `go list` in
+// dir, then parses and type-checks each matched package. Imports —
+// std and intra-module alike — are type-checked from source by the
+// stdlib "source" importer, so loading works offline with nothing but
+// the go toolchain. Test files are not loaded: the analyzers enforce
+// production invariants.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-json", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+
+	// The source importer resolves module-internal import paths
+	// through the go command relative to the working directory, so it
+	// must run with dir as the process working directory.
+	restore, err := chdir(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer restore()
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+
+	var pkgs []*Package
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		pkg, err := TypeCheck(fset, imp, lp.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = lp.Dir
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// TypeCheckSource type-checks one package from explicit file paths
+// with a fresh FileSet and source importer — the go vet unit path,
+// where cmd/go has already resolved the file list.
+func TypeCheckSource(pkgPath string, filenames []string) (*Package, error) {
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	pkg, err := TypeCheck(fset, imp, pkgPath, filenames)
+	if err != nil {
+		return nil, err
+	}
+	if len(filenames) > 0 {
+		pkg.Dir = filepath.Dir(filenames[0])
+	}
+	return pkg, nil
+}
+
+// chdir switches the working directory and returns the restore func.
+func chdir(dir string) (func(), error) {
+	prev, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.Chdir(dir); err != nil {
+		return nil, err
+	}
+	return func() { _ = os.Chdir(prev) }, nil
+}
+
+// TypeCheck parses files and type-checks them as one package
+// importing through imp. The analyzers need full type information, so
+// type errors are fatal — a tree that does not compile cannot be
+// soundly linted.
+func TypeCheck(fset *token.FileSet, imp types.Importer, pkgPath string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", pkgPath, err)
+	}
+	return &Package{
+		PkgPath: pkgPath,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Run executes every analyzer over every package, applies the
+// //lint:allow escape comments, and returns the surviving findings
+// sorted by position. Beyond each analyzer's own diagnostics it
+// reports allows that suppressed nothing — a stale escape is a lie
+// about the code — attributing them to the lintallow pseudo-check.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		var allows []Allow
+		for _, f := range pkg.Files {
+			allows = append(allows, ParseAllows(pkg.Fset, f)...)
+		}
+		usedAny := make([]bool, len(allows))
+		ranFor := make(map[string]bool, len(analyzers))
+
+		for _, a := range analyzers {
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+			kept, used := FilterAllows(pkg.Fset, allows, a.Name, diags)
+			for i, u := range used {
+				usedAny[i] = usedAny[i] || u
+			}
+			ranFor[a.Name] = true
+			for _, d := range kept {
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					Position: pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+		}
+
+		// An allow for an analyzer that ran but matched no diagnostic
+		// is stale; one for an analyzer not in this run is left alone
+		// (a partial -checks run must not flag the others' escapes).
+		// Bare allows are lintallow's own findings, not duplicated
+		// here.
+		for i, a := range allows {
+			if !a.Bare && ranFor[a.Analyzer] && !usedAny[i] {
+				findings = append(findings, Finding{
+					Analyzer: "lintallow",
+					Position: pkg.Fset.Position(a.Pos),
+					Message:  fmt.Sprintf("//lint:allow %s suppresses no diagnostic; delete the stale escape", a.Analyzer),
+				})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}

@@ -1,0 +1,94 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"surf/lint/analysis"
+)
+
+// reportAt builds a test analyzer that reports one diagnostic at the
+// start of each given line.
+func reportAt(name string, lines ...int) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: name,
+		Doc:  "test analyzer",
+		Run: func(pass *analysis.Pass) error {
+			tf := pass.Fset.File(pass.Files[0].Pos())
+			for _, ln := range lines {
+				pass.Reportf(tf.LineStart(ln), "finding on line %d", ln)
+			}
+			return nil
+		},
+	}
+}
+
+func TestRunStaleAllow(t *testing.T) {
+	fset, f := parseFile(t, `package p
+
+//lint:allow check: suppresses the finding below
+var a int
+
+//lint:allow check: suppresses nothing — stale
+var b int
+
+//lint:allow other: analyzer not in this run; left alone
+var c int
+`)
+	pkg := &analysis.Package{PkgPath: "p", Fset: fset, Files: []*ast.File{f}}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{reportAt("check", 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1 (the stale allow): %v", len(findings), findings)
+	}
+	st := findings[0]
+	if st.Analyzer != "lintallow" || !strings.Contains(st.Message, "suppresses no diagnostic") {
+		t.Errorf("stale finding = %+v", st)
+	}
+	if st.Position.Line != 6 {
+		t.Errorf("stale finding at line %d, want 6 (the stale allow comment)", st.Position.Line)
+	}
+}
+
+func TestRunBareAllowNotStaleFlagged(t *testing.T) {
+	fset, f := parseFile(t, `package p
+
+//lint:allow check
+var a int
+`)
+	pkg := &analysis.Package{PkgPath: "p", Fset: fset, Files: []*ast.File{f}}
+	// The bare allow suppresses nothing, but the driver leaves it to
+	// the lintallow analyzer rather than double-reporting it as stale.
+	findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{reportAt("check", 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Position.Line != 4 {
+		t.Fatalf("findings = %v, want only the line-4 diagnostic (bare allows do not suppress)", findings)
+	}
+}
+
+func TestRunSortsFindings(t *testing.T) {
+	fset, f := parseFile(t, `package p
+
+var a int
+var b int
+`)
+	pkg := &analysis.Package{PkgPath: "p", Fset: fset, Files: []*ast.File{f}}
+	findings, err := analysis.Run([]*analysis.Package{pkg},
+		[]*analysis.Analyzer{reportAt("zeta", 4, 3), reportAt("alpha", 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 3 {
+		t.Fatalf("got %d findings, want 3", len(findings))
+	}
+	if findings[0].Analyzer != "alpha" || findings[0].Position.Line != 3 ||
+		findings[1].Analyzer != "zeta" || findings[1].Position.Line != 3 ||
+		findings[2].Analyzer != "zeta" || findings[2].Position.Line != 4 {
+		t.Errorf("findings out of order: %+v", findings)
+	}
+}

@@ -1,0 +1,93 @@
+// Package atomicsnap enforces the snapshot-swap discipline: a value
+// of a sync/atomic type (atomic.Pointer[T], atomic.Uint64, …) may
+// only be touched through its atomic method set — Load, Store, Swap,
+// CompareAndSwap, Add, And, Or. Copying one, overwriting one by
+// assignment, or taking its address aliases or tears the very state
+// the atomic wrapper exists to protect.
+//
+// Motivating invariant: the engine's surrogate snapshot and the
+// registry's engine sets move only through atomic pointers, so a
+// query pinned to a snapshot can never observe a half-swapped model.
+// A direct read of the field (`sn := e.surrogate`) compiles fine and
+// races silently.
+package atomicsnap
+
+import (
+	"go/ast"
+	"go/types"
+
+	"surf/lint/analysis"
+	"surf/lint/internal/astq"
+)
+
+// Analyzer is the atomicsnap check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicsnap",
+	Doc: "sync/atomic values (snapshot fields above all) may only be accessed through " +
+		"Load/Store/Swap/CompareAndSwap/Add — never copied, reassigned or aliased",
+	Run: run,
+}
+
+// atomicTypes are the sync/atomic wrapper types the discipline covers.
+var atomicTypes = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+// atomicMethods are the only legitimate operations on such a value.
+var atomicMethods = map[string]bool{
+	"Load": true, "Store": true, "Swap": true, "CompareAndSwap": true,
+	"Add": true, "And": true, "Or": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		astq.InspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			e, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			switch e.(type) {
+			case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+			default:
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok || !tv.IsValue() {
+				return true
+			}
+			if !isAtomicType(tv.Type) {
+				return true
+			}
+			if isMethodAccess(e, stack) {
+				return true
+			}
+			pass.Reportf(e.Pos(),
+				"sync/atomic value used outside its atomic method set (Load/Store/Swap/CompareAndSwap/Add); copying, reassigning or aliasing it tears the state the atomic protects")
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicType reports whether t is one of the sync/atomic wrapper
+// types (resolving generic instantiation, e.g. atomic.Pointer[T]).
+func isAtomicType(t types.Type) bool {
+	n := astq.NamedOrigin(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync/atomic" && atomicTypes[n.Obj().Name()]
+}
+
+// isMethodAccess reports whether e is exactly the receiver of an
+// atomic method selection — x.f.Load(…), or a bound method value
+// x.f.Load, both of which operate through the atomic API rather than
+// on the raw value.
+func isMethodAccess(e ast.Expr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	sel, ok := stack[len(stack)-1].(*ast.SelectorExpr)
+	return ok && sel.X == e && atomicMethods[sel.Sel.Name]
+}

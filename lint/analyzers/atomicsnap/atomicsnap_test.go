@@ -1,0 +1,12 @@
+package atomicsnap_test
+
+import (
+	"testing"
+
+	"surf/lint/analysis/analysistest"
+	"surf/lint/analyzers/atomicsnap"
+)
+
+func TestAtomicsnap(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), atomicsnap.Analyzer, "atomicsnap")
+}

@@ -1,0 +1,33 @@
+// Fixture for atomicsnap: the snapshot-copy regression (`sn :=
+// e.surrogate` compiles fine and races silently) plus the full
+// sanctioned method set.
+package atomicsnap
+
+import "sync/atomic"
+
+type snapshot struct{ gen uint64 }
+
+type Engine struct {
+	surrogate atomic.Pointer[snapshot]
+	gen       atomic.Uint64
+	counts    []atomic.Uint64
+}
+
+func good(e *Engine) {
+	_ = e.surrogate.Load()
+	e.surrogate.Store(&snapshot{})
+	old := e.surrogate.Swap(&snapshot{})
+	_ = e.surrogate.CompareAndSwap(old, &snapshot{})
+	e.gen.Add(1)
+	e.counts[0].Add(1) // indexed receivers go through the method set too
+	swap := e.surrogate.Swap
+	swap(&snapshot{}) // a bound method value still operates atomically
+}
+
+func bad(e *Engine) {
+	sn := e.surrogate // want `sync/atomic value used outside its atomic method set`
+	_ = sn            // want `sync/atomic value used outside its atomic method set`
+	p := &e.surrogate // want `sync/atomic value used outside its atomic method set`
+	_ = p.Load()
+	e.gen = atomic.Uint64{} // want `sync/atomic value used outside its atomic method set`
+}

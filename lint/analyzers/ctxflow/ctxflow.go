@@ -1,0 +1,132 @@
+// Package ctxflow enforces that contexts flow: a function holding a
+// context must pass it on, never mint a fresh background one, and
+// never call the context-free variant of an API whose *Context form
+// exists.
+//
+// Motivating bug (PR 5): TrainSurrogateContext validated its ctx and
+// then ran the whole boosting loop through a context-free internal
+// fit — cancellation was silently dropped and training ran to
+// completion after every caller had gone away.
+//
+// Two deliberate escapes exist in this tree and carry
+// //lint:allow ctxflow comments: the registry's load detach (a load
+// is shared by every waiter, so one caller's disconnect must not
+// abort it) and server shutdown (the drain deadline must outlive the
+// cancelled serve context).
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"surf/lint/analysis"
+	"surf/lint/internal/astq"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "contexts must flow into every cancellable call: no context.Background()/TODO() outside " +
+		"single-statement wrappers and package main, and no calling F where FContext exists " +
+		"while a ctx is in scope (the PR 5 dropped-ctx training bug)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// The documented public-API idiom — "context-free names are thin
+	// context.Background() wrappers" (doc.go) — and process entry
+	// points are the two places a fresh root context is legitimate.
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		astq.InspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := astq.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			if astq.IsPkgFunc(fn, "context", "Background") || astq.IsPkgFunc(fn, "context", "TODO") {
+				if !inThinWrapper(stack) {
+					pass.Reportf(call.Pos(),
+						"context.%s() drops the caller's context; thread a ctx parameter through, or annotate a deliberate detach with //lint:allow ctxflow: <reason>",
+						fn.Name())
+				}
+				return true
+			}
+			checkContextVariant(pass, call, fn, stack)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkContextVariant flags calls to F when a context is in scope and
+// F's declaring scope also offers FContext taking a context.
+func checkContextVariant(pass *analysis.Pass, call *ast.CallExpr, fn *types.Func, stack []ast.Node) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || astq.HasContextParam(sig) {
+		return
+	}
+	if !enclosingHasContext(pass, stack) {
+		return
+	}
+	variant := fn.Name() + "Context"
+	var alt types.Object
+	if recv := sig.Recv(); recv != nil {
+		alt, _, _ = types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), variant)
+	} else if fn.Pkg() != nil {
+		alt = fn.Pkg().Scope().Lookup(variant)
+	}
+	altFn, ok := alt.(*types.Func)
+	if !ok {
+		return
+	}
+	altSig, ok := altFn.Type().(*types.Signature)
+	if !ok || altSig.Params().Len() == 0 || !astq.IsContextType(altSig.Params().At(0).Type()) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s ignores the in-scope context; call %s and pass it", fn.Name(), variant)
+}
+
+// inThinWrapper reports whether the innermost enclosing function is a
+// named single-statement function — the sanctioned
+// `func F(...) { return e.FContext(context.Background(), ...) }`
+// wrapper shape — with no function literal in between.
+func inThinWrapper(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.FuncDecl:
+			return fn.Body != nil && len(fn.Body.List) == 1
+		}
+	}
+	return false
+}
+
+// enclosingHasContext reports whether any enclosing function
+// declaration or literal takes a context.Context parameter (closures
+// see their parents' ctx).
+func enclosingHasContext(pass *analysis.Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var sig *types.Signature
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			sig, _ = pass.TypesInfo.Types[fn].Type.(*types.Signature)
+		case *ast.FuncDecl:
+			if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+				sig, _ = obj.Type().(*types.Signature)
+			}
+		default:
+			continue
+		}
+		if sig != nil && astq.HasContextParam(sig) {
+			return true
+		}
+	}
+	return false
+}

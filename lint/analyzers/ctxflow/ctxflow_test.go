@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"surf/lint/analysis/analysistest"
+	"surf/lint/analyzers/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxflow.Analyzer, "ctxflow")
+}

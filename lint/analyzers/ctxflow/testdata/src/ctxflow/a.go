@@ -1,0 +1,74 @@
+// Fixture for ctxflow: the PR 5 dropped-ctx regression shapes, the
+// sanctioned thin-wrapper idiom, and the //lint:allow escape.
+package ctxflow
+
+import "context"
+
+type Engine struct{}
+
+func (e *Engine) FitContext(ctx context.Context, iters int) error {
+	return ctx.Err()
+}
+
+// Fit is the documented public-API idiom: a named single-statement
+// wrapper may mint the background root.
+func (e *Engine) Fit(iters int) error { return e.FitContext(context.Background(), iters) }
+
+// Train is the motivating regression: a context-taking entry point
+// that validates ctx and then re-roots, silently dropping
+// cancellation for the whole run.
+func (e *Engine) Train(ctx context.Context, iters int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return e.FitContext(context.Background(), iters) // want `context\.Background\(\) drops the caller's context`
+}
+
+// Retrain holds a ctx but calls the context-free variant of a method
+// whose Context form exists.
+func (e *Engine) Retrain(ctx context.Context, iters int) error {
+	return e.Fit(iters) // want `Fit ignores the in-scope context; call FitContext and pass it`
+}
+
+func Run() {}
+
+func RunContext(ctx context.Context) { _ = ctx }
+
+// kick exercises the package-level variant lookup.
+func kick(ctx context.Context) {
+	Run() // want `Run ignores the in-scope context; call RunContext and pass it`
+}
+
+// viaClosure proves closures see their parents' ctx.
+func viaClosure(ctx context.Context) func() {
+	return func() {
+		Run() // want `Run ignores the in-scope context; call RunContext and pass it`
+	}
+}
+
+// free holds no context, so the context-free variant is the right
+// call.
+func free() {
+	Run()
+}
+
+// todo: context.TODO is no better than Background.
+func todo(ctx context.Context) {
+	_ = ctx
+	RunContext(context.TODO()) // want `context\.TODO\(\) drops the caller's context`
+}
+
+// detach is the sanctioned escape: a justified allow suppresses the
+// diagnostic on the line below.
+func detach(ctx context.Context) {
+	_ = ctx
+	//lint:allow ctxflow: fixture detach — this work is shared and must outlive one caller
+	_ = context.Background()
+}
+
+// stale: an allow that suppresses nothing is itself a finding (the
+// driver attributes it to lintallow).
+func stale(ctx context.Context) {
+	_ = ctx
+	/* want `//lint:allow ctxflow suppresses no diagnostic; delete the stale escape` */ //lint:allow ctxflow: nothing here detaches
+}

@@ -1,0 +1,214 @@
+// Package detrain polices the deterministic-training guarantee:
+// inside code marked //surf:deterministic (the internal/gbt training
+// pipeline above all), results must be byte-identical for any Workers
+// count and across runs. Three nondeterminism sources are banned
+// there:
+//
+//   - ranging over a map while accumulating floating-point state or
+//     assigning into outer containers — map iteration order is
+//     randomized, and float addition does not commute in rounding
+//     (collect the keys, sort them, then iterate);
+//   - the global math/rand / math/rand/v2 generators, which are
+//     seeded nondeterministically (use a seeded *rand.Rand);
+//   - time.Now / time.Since / time.Until feeding results.
+//
+// The directive is read from a file's header comments (whole file in
+// scope) or a function's doc comment (that function only).
+//
+// Motivating invariant: PR 5's parallel trainer is CI-gated on the
+// Workers=1 and Workers=NumCPU models being byte-identical; a single
+// map-order float reduction silently breaks that gate.
+package detrain
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"surf/lint/analysis"
+	"surf/lint/internal/astq"
+)
+
+// Analyzer is the detrain check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrain",
+	Doc: "code marked //surf:deterministic must stay reproducible: no map-iteration-order-sensitive " +
+		"reductions, no global math/rand, no time.Now feeding results (the byte-identical-for-any-Workers gate)",
+	Run: run,
+}
+
+const directive = "//surf:deterministic"
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if fileMarked(file) {
+			checkScope(pass, file)
+			continue
+		}
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && docMarked(fd.Doc) {
+				checkScope(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// fileMarked reports whether the file carries the directive in a
+// comment positioned before the package clause (its header).
+func fileMarked(file *ast.File) bool {
+	for _, cg := range file.Comments {
+		if cg.Pos() > file.Package {
+			break
+		}
+		if docMarked(cg) {
+			return true
+		}
+	}
+	return false
+}
+
+func docMarked(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkScope applies the three bans to every node under root.
+func checkScope(pass *analysis.Pass, root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			checkMapRange(pass, n)
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		}
+		return true
+	})
+}
+
+// checkCall bans the global rand generators and wall-clock reads.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := astq.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods on a seeded *rand.Rand are the sanctioned form
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		// Constructors build seeded generators; everything else draws
+		// from the nondeterministically seeded global.
+		switch fn.Name() {
+		case "New", "NewPCG", "NewChaCha8", "NewSource", "NewZipf":
+		default:
+			pass.Reportf(call.Pos(),
+				"global math/rand %s() in deterministic code is seeded nondeterministically; draw from a seeded *rand.Rand", fn.Name())
+		}
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(),
+				"time.%s() in deterministic code feeds wall-clock into results; pass timestamps in from the caller", fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags a range over a map whose body performs an
+// order-sensitive write to state declared outside the loop: a
+// floating-point compound assignment, an index assignment into an
+// outer container, or a plain overwrite. Order-insensitive writes —
+// integer counting, append-to-self for the collect-keys-then-sort
+// idiom — pass.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	reported := false
+	report := func(pos token.Pos, what string) {
+		if !reported {
+			pass.Reportf(pos,
+				"map iteration order is randomized: %s inside this range makes the result order-dependent; iterate a sorted key slice instead", what)
+			reported = true
+		}
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			root := astq.RootIdent(lhs)
+			if root == nil || root.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.Uses[root]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[root]
+			}
+			if obj == nil || insideRange(obj.Pos(), rng) {
+				continue
+			}
+			switch {
+			case as.Tok == token.ASSIGN || as.Tok == token.DEFINE:
+				if _, isIndex := ast.Unparen(lhs).(*ast.IndexExpr); isIndex {
+					report(lhs.Pos(), "an index assignment into outer state")
+				} else if !isSelfAppend(pass, as, i, lhs) {
+					report(lhs.Pos(), "an overwrite of outer state")
+				}
+			default: // compound assignment: only float accumulation is order-sensitive
+				if isFloat(pass.TypesInfo.Types[lhs].Type) {
+					report(lhs.Pos(), "a floating-point reduction")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func insideRange(pos token.Pos, rng *ast.RangeStmt) bool {
+	return pos >= rng.Pos() && pos <= rng.End()
+}
+
+// isSelfAppend recognizes `x = append(x, …)`, the collect-then-sort
+// idiom's accumulation step.
+func isSelfAppend(pass *analysis.Pass, as *ast.AssignStmt, i int, lhs ast.Expr) bool {
+	if len(as.Rhs) != len(as.Lhs) {
+		return false
+	}
+	call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	lroot, aroot := astq.RootIdent(lhs), astq.RootIdent(call.Args[0])
+	return lroot != nil && aroot != nil &&
+		pass.TypesInfo.ObjectOf(lroot) == pass.TypesInfo.ObjectOf(aroot)
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

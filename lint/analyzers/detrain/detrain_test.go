@@ -1,0 +1,12 @@
+package detrain_test
+
+import (
+	"testing"
+
+	"surf/lint/analysis/analysistest"
+	"surf/lint/analyzers/detrain"
+)
+
+func TestDetrain(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detrain.Analyzer, "detrain")
+}

@@ -1,0 +1,84 @@
+// Fixture for detrain, file-level scope: the header directive puts
+// every function here under the deterministic-training bans.
+//
+//surf:deterministic (fixture: whole-file deterministic scope)
+package detrain
+
+import (
+	"math/rand/v2"
+	"sort"
+	"time"
+)
+
+// sumLoss is the motivating regression: a floating-point reduction
+// over map iteration order breaks the byte-identical-for-any-Workers
+// gate, because float addition does not commute in rounding.
+func sumLoss(losses map[int]float64) float64 {
+	var total float64
+	for _, l := range losses {
+		total += l // want `map iteration order is randomized: a floating-point reduction`
+	}
+	return total
+}
+
+// sumSorted is the sanctioned rewrite: collect keys (append-to-self
+// is order-insensitive), sort, then reduce in key order.
+func sumSorted(losses map[int]float64) float64 {
+	keys := make([]int, 0, len(losses))
+	for k := range losses {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var total float64
+	for _, k := range keys {
+		total += losses[k]
+	}
+	return total
+}
+
+// count: integer counting commutes; iteration order cannot show.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// invert writes map keys into positions picked by iteration order.
+func invert(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	i := 0
+	for k := range m {
+		out = append(out, "")
+		out[i] = k // want `map iteration order is randomized: an index assignment into outer state`
+		i++
+	}
+	return out
+}
+
+// last leaks whichever key iteration happened to visit last.
+func last(m map[string]int) string {
+	var picked string
+	for k := range m {
+		picked = k // want `map iteration order is randomized: an overwrite of outer state`
+	}
+	return picked
+}
+
+// jitter draws from the nondeterministically seeded global generator.
+func jitter() float64 {
+	return rand.Float64() // want `global math/rand Float64\(\) in deterministic code`
+}
+
+// seeded is the sanctioned form: constructors build a seeded
+// generator, and methods on it are deterministic.
+func seeded() float64 {
+	rng := rand.New(rand.NewPCG(1, 2))
+	return rng.Float64()
+}
+
+// stamp feeds wall-clock into a result.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now\(\) in deterministic code feeds wall-clock into results`
+}

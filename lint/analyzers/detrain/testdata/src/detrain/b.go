@@ -1,0 +1,25 @@
+// Fixture for detrain, function-level scope: this file has no header
+// directive, so only the marked function is checked.
+package detrain
+
+// freeFloat is outside any deterministic scope; the reduction is
+// allowed to be order-dependent here.
+func freeFloat(m map[int]float64) float64 {
+	var t float64
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// markedFunc carries the directive in its doc comment, which scopes
+// the bans to this function only.
+//
+//surf:deterministic
+func markedFunc(m map[int]float64) float64 {
+	var t float64
+	for _, v := range m {
+		t += v // want `map iteration order is randomized: a floating-point reduction`
+	}
+	return t
+}

@@ -1,0 +1,161 @@
+// Package errenvelope keeps the server package's error responses
+// inside the unified JSON envelope
+// {"error":{"code","message","request_id"}}:
+//
+//   - no raw http.Error — it emits text/plain with none of the
+//     envelope fields;
+//   - no raw WriteHeader on a ResponseWriter outside the envelope
+//     writer (writeJSON) and ResponseWriter plumbing methods — a
+//     handler that writes its own status has bypassed the envelope;
+//   - errors handed to writeError must be mappable: no inline
+//     errors.New (declare a package-level sentinel statusFor can
+//     name) and no fmt.Errorf without %w (unwrapped errors all
+//     collapse to 500 "internal").
+//
+// Motivating bug class: before PR 7 each handler formatted its own
+// failures, so the same bad query answered text/plain on one route
+// and ad-hoc JSON on another, and clients could not dispatch on a
+// stable code.
+package errenvelope
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"surf/lint/analysis"
+	"surf/lint/internal/astq"
+)
+
+// Analyzer is the errenvelope check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errenvelope",
+	Doc: "server error responses must go through the unified JSON envelope: no raw http.Error or " +
+		"WriteHeader outside the envelope writer, and writeError arguments must wrap mappable sentinels",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// The envelope discipline is the serving layer's contract; other
+	// packages (obs exposition, CLIs) legitimately write raw responses.
+	if pass.Pkg.Name() != "server" {
+		return nil
+	}
+	rw := responseWriterIface(pass.Pkg)
+	for _, file := range pass.Files {
+		astq.InspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkHTTPError(pass, call, stack)
+			checkWriteHeader(pass, call, rw, stack)
+			checkWriteErrorArg(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// responseWriterIface resolves net/http.ResponseWriter from the
+// package's imports (nil when the package does not import net/http).
+func responseWriterIface(pkg *types.Package) *types.Interface {
+	for _, imp := range pkg.Imports() {
+		if imp.Path() == "net/http" {
+			if obj := imp.Scope().Lookup("ResponseWriter"); obj != nil {
+				if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+					return iface
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkHTTPError flags raw http.Error calls outside the envelope
+// writer.
+func checkHTTPError(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
+	fn := astq.CalleeFunc(pass.TypesInfo, call)
+	if !astq.IsPkgFunc(fn, "net/http", "Error") {
+		return
+	}
+	if enclosingFuncName(stack) == "writeJSON" {
+		return // the envelope writer's own last-resort path
+	}
+	pass.Reportf(call.Pos(),
+		"raw http.Error bypasses the unified error envelope; report failures through writeError")
+}
+
+// checkWriteHeader flags direct WriteHeader calls on a ResponseWriter
+// outside the envelope writer and the ResponseWriter plumbing methods
+// (a wrapper's own Write/WriteHeader/Flush implementations).
+func checkWriteHeader(pass *analysis.Pass, call *ast.CallExpr, rw *types.Interface, stack []ast.Node) {
+	if rw == nil {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "WriteHeader" {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || !implementsRW(tv.Type, rw) {
+		return
+	}
+	switch enclosingFuncName(stack) {
+	case "writeJSON", "WriteHeader", "Write", "Flush":
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"direct WriteHeader bypasses the unified error envelope; send responses through writeJSON/writeError")
+}
+
+func implementsRW(t types.Type, rw *types.Interface) bool {
+	return types.Implements(t, rw) || types.Implements(types.NewPointer(t), rw)
+}
+
+// checkWriteErrorArg enforces sentinel discipline on the error handed
+// to writeError: statusFor maps by errors.Is, so the error must carry
+// a recognizable sentinel in its chain.
+func checkWriteErrorArg(pass *analysis.Pass, call *ast.CallExpr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "writeError" || len(call.Args) < 2 {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() != pass.Pkg {
+		return
+	}
+	arg, ok := ast.Unparen(call.Args[1]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	callee := astq.CalleeFunc(pass.TypesInfo, arg)
+	switch {
+	case astq.IsPkgFunc(callee, "errors", "New"):
+		pass.Reportf(arg.Pos(),
+			"inline errors.New handed to writeError can never match a statusFor sentinel; declare a package-level sentinel var")
+	case astq.IsPkgFunc(callee, "fmt", "Errorf") && len(arg.Args) > 0:
+		if tv, ok := pass.TypesInfo.Types[arg.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+			if !strings.Contains(constant.StringVal(tv.Value), "%w") {
+				pass.Reportf(arg.Pos(),
+					"fmt.Errorf without %%w handed to writeError drops the sentinel chain; wrap a sentinel so status mapping stays total")
+			}
+		}
+	}
+}
+
+// enclosingFuncName returns the name of the innermost enclosing
+// function declaration ("" inside a function literal or at top
+// level).
+func enclosingFuncName(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			return ""
+		case *ast.FuncDecl:
+			return fn.Name.Name
+		}
+	}
+	return ""
+}

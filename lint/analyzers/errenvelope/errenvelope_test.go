@@ -1,0 +1,12 @@
+package errenvelope_test
+
+import (
+	"testing"
+
+	"surf/lint/analysis/analysistest"
+	"surf/lint/analyzers/errenvelope"
+)
+
+func TestErrenvelope(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errenvelope.Analyzer, "server")
+}

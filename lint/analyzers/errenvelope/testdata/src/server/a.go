@@ -1,0 +1,80 @@
+// Fixture for errenvelope: a miniature of the real server package —
+// envelope writers, a recorder, handlers that stay inside the
+// envelope, and the pre-PR 7 regression shapes that bypass it.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// errBad stands in for the real sentinel set statusFor maps.
+var errBad = errors.New("server: bad")
+
+func statusFor(err error) (int, string) {
+	if errors.Is(err, errBad) {
+		return http.StatusBadRequest, "bad_query"
+	}
+	return http.StatusInternalServerError, "internal"
+}
+
+// writeJSON is the envelope writer: the one place raw status writes
+// and the last-resort http.Error are sanctioned.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.WriteHeader(status)
+	if v == nil {
+		http.Error(w, "encode failure", http.StatusInternalServerError)
+	}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status, _ := statusFor(err)
+	writeJSON(w, status, err)
+}
+
+// recorder shows ResponseWriter plumbing methods are exempt: a
+// wrapper's own WriteHeader must call through.
+type recorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *recorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// handleGood stays inside the envelope: sentinels and %w wraps map.
+func handleGood(w http.ResponseWriter, r *http.Request) {
+	writeError(w, errBad)
+	writeError(w, fmt.Errorf("%w: details", errBad))
+}
+
+// handleBad is the pre-PR 7 regression: ad-hoc text/plain errors.
+func handleBad(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `raw http\.Error bypasses the unified error envelope`
+}
+
+// handleRaw writes its own status and bypasses the envelope.
+func handleRaw(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusTeapot) // want `direct WriteHeader bypasses the unified error envelope`
+}
+
+// handleInline hands writeError an error no sentinel can match.
+func handleInline(w http.ResponseWriter, r *http.Request) {
+	writeError(w, errors.New("oops")) // want `inline errors\.New handed to writeError can never match a statusFor sentinel`
+}
+
+// handleUnwrapped formats the sentinel away: %v drops the chain.
+func handleUnwrapped(w http.ResponseWriter, r *http.Request) {
+	writeError(w, fmt.Errorf("bad thing: %v", errBad)) // want `fmt\.Errorf without %w handed to writeError drops the sentinel chain`
+}
+
+// handleStream is the sanctioned SSE escape: the 200 must be
+// committed before the event loop, under a justified allow.
+func handleStream(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/event-stream")
+	//lint:allow errenvelope: SSE commits 200 before the event loop; later failures are stream comments
+	w.WriteHeader(http.StatusOK)
+}

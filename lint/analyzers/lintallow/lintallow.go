@@ -1,0 +1,47 @@
+// Package lintallow enforces the escape-hatch grammar itself. The
+// only sanctioned suppression form is
+//
+//	//lint:allow <analyzer>: <reason>
+//
+// — one known analyzer name, a colon, a non-empty reason. Bare allows
+// ("//lint:allow ctxflow") are rejected: an escape without a recorded
+// justification is indistinguishable from a silenced bug. Allows
+// naming analyzers that do not exist are rejected too — they
+// suppress nothing and read as if they did. (Stale allows — well
+// formed but matching no diagnostic — are reported by the driver,
+// which alone sees every analyzer's output.)
+package lintallow
+
+import (
+	"surf/lint/analysis"
+)
+
+// New builds the lintallow analyzer over the set of known analyzer
+// names (lintallow itself included, so the set is closed).
+func New(known []string) *analysis.Analyzer {
+	names := make(map[string]bool, len(known)+1)
+	names["lintallow"] = true
+	for _, n := range known {
+		names[n] = true
+	}
+	return &analysis.Analyzer{
+		Name: "lintallow",
+		Doc: "//lint:allow escapes must name a known analyzer and carry a reason " +
+			"(//lint:allow <analyzer>: <reason>); bare or unknown allows are silenced bugs",
+		Run: func(pass *analysis.Pass) error {
+			for _, file := range pass.Files {
+				for _, a := range analysis.ParseAllows(pass.Fset, file) {
+					switch {
+					case a.Bare:
+						pass.Reportf(a.Pos,
+							"bare //lint:allow: the escape hatch is //lint:allow <analyzer>: <reason>, and the reason is required")
+					case !names[a.Analyzer]:
+						pass.Reportf(a.Pos,
+							"//lint:allow names unknown analyzer %q; it suppresses nothing", a.Analyzer)
+					}
+				}
+			}
+			return nil
+		},
+	}
+}

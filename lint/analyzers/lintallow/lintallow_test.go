@@ -1,0 +1,13 @@
+package lintallow_test
+
+import (
+	"testing"
+
+	"surf/lint/analysis/analysistest"
+	"surf/lint/analyzers/lintallow"
+)
+
+func TestLintallow(t *testing.T) {
+	known := []string{"atomicsnap", "ctxflow", "detrain", "errenvelope", "obslabel"}
+	analysistest.Run(t, analysistest.TestData(), lintallow.New(known), "lintallow")
+}

@@ -1,0 +1,37 @@
+// Fixture for lintallow: every malformed escape shape, one per
+// function. The want expectations use the block form because the
+// diagnostic lands on the allow comment itself.
+package lintallow
+
+func noColon() {
+	/* want `bare //lint:allow` */ //lint:allow ctxflow
+	_ = 0
+}
+
+func noReason() {
+	/* want `bare //lint:allow` */ //lint:allow ctxflow:
+	_ = 0
+}
+
+func noName() {
+	/* want `bare //lint:allow` */ //lint:allow : because
+	_ = 0
+}
+
+func commaList() {
+	/* want `bare //lint:allow` */ //lint:allow ctxflow,detrain: one allow per analyzer
+	_ = 0
+}
+
+func unknownName() {
+	/* want `names unknown analyzer "nosuchcheck"` */ //lint:allow nosuchcheck: typo'd analyzer
+	_ = 0
+}
+
+// wellFormed proves a correct allow for another analyzer is not
+// lintallow's business (stale detection belongs to the driver and
+// only fires for analyzers that ran).
+func wellFormed() {
+	//lint:allow ctxflow: fixture reason text
+	_ = 0
+}

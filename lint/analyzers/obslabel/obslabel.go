@@ -1,0 +1,185 @@
+// Package obslabel guards /metrics cardinality: every label key on an
+// obs.Registry instrument must be a compile-time constant, label
+// lists must be alternating key/value pairs, and label values must
+// not be computed or derived from request data. A single
+// request-derived label value (a URL path, a client-sent header)
+// mints one series per distinct request and grows the exposition —
+// and its scrape cost — without bound.
+//
+// Metric names and help strings must be constants too: a dynamic
+// family name defeats pre-registration and dashboard stability.
+//
+// Scrape-time Collect callbacks get the same key discipline; their
+// values may be dynamic (per-dataset names are the sanctioned case —
+// bounded by the registry's capacity, not by traffic).
+package obslabel
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"surf/lint/analysis"
+	"surf/lint/internal/astq"
+)
+
+// Analyzer is the obslabel check.
+var Analyzer = &analysis.Analyzer{
+	Name: "obslabel",
+	Doc: "obs metric label keys must be compile-time constants and label values bounded — " +
+		"request-derived strings explode /metrics cardinality",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := registryMethod(pass, call)
+			if !ok {
+				return true
+			}
+			switch name {
+			case "Counter", "Gauge":
+				checkNameHelp(pass, call)
+				checkLabels(pass, call, call.Args[2:], false)
+			case "Histogram":
+				checkNameHelp(pass, call)
+				if len(call.Args) > 3 {
+					checkLabels(pass, call, call.Args[3:], false)
+				}
+			case "Collect":
+				checkNameHelp(pass, call)
+				checkCollectCallback(pass, call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// registryMethod matches calls to the obs.Registry instrument
+// constructors, by receiver type so wrappers forwarding `labels
+// ...string` stay out of scope.
+func registryMethod(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Counter", "Gauge", "Histogram", "Collect":
+	default:
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "obs" {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !astq.IsNamedType(sig.Recv().Type(), "obs", "Registry") {
+		return "", false
+	}
+	if len(call.Args) < 2 {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// checkNameHelp requires constant metric name and help strings.
+func checkNameHelp(pass *analysis.Pass, call *ast.CallExpr) {
+	for i, what := range []string{"metric name", "help string"} {
+		if !isConstString(pass, call.Args[i]) {
+			pass.Reportf(call.Args[i].Pos(),
+				"%s must be a compile-time constant; dynamic metric families defeat pre-registration", what)
+		}
+	}
+}
+
+// checkCollectCallback applies label checking to emit(...) calls
+// inside the Collect callback literal, keys only — scrape-time values
+// are bounded by registration, not by traffic.
+func checkCollectCallback(pass *analysis.Pass, call *ast.CallExpr) {
+	lit, ok := ast.Unparen(call.Args[len(call.Args)-1]).(*ast.FuncLit)
+	if !ok || len(lit.Type.Params.List) == 0 || len(lit.Type.Params.List[0].Names) == 0 {
+		return
+	}
+	emit := pass.TypesInfo.Defs[lit.Type.Params.List[0].Names[0]]
+	if emit == nil {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		ec, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(ec.Fun).(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != emit {
+			return true
+		}
+		if len(ec.Args) > 1 {
+			checkLabels(pass, ec, ec.Args[1:], true)
+		}
+		return true
+	})
+}
+
+// checkLabels validates one alternating key/value label list.
+// Scrape-time lists (valuesMayVary) skip the bounded-value check.
+func checkLabels(pass *analysis.Pass, call *ast.CallExpr, labels []ast.Expr, valuesMayVary bool) {
+	if call.Ellipsis.IsValid() {
+		pass.Reportf(call.Ellipsis,
+			"label slice spread defeats static label checking; pass explicit key/value pairs")
+		return
+	}
+	if len(labels)%2 != 0 {
+		pass.Reportf(call.Pos(),
+			"odd label list: labels must be alternating key/value pairs")
+		return
+	}
+	for i := 0; i < len(labels); i += 2 {
+		if !isConstString(pass, labels[i]) {
+			pass.Reportf(labels[i].Pos(),
+				"metric label key must be a compile-time constant string")
+		}
+		if !valuesMayVary {
+			checkBoundedValue(pass, labels[i+1])
+		}
+	}
+}
+
+// checkBoundedValue rejects label values that are computed (any call
+// — Sprintf, strconv, a conversion) or read off request state
+// (http.Request, url.URL, url.Values, http.Header): both mint series
+// per request instead of per registration.
+func checkBoundedValue(pass *analysis.Pass, value ast.Expr) {
+	ast.Inspect(value, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			pass.Reportf(n.Pos(),
+				"computed metric label value: compute label sets at registration, not per request")
+			return false
+		case *ast.SelectorExpr:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok && isRequestType(tv.Type) {
+				pass.Reportf(n.Pos(),
+					"metric label value derives from request data; unbounded label cardinality explodes /metrics")
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func isRequestType(t types.Type) bool {
+	return astq.IsNamedType(t, "http", "Request") ||
+		astq.IsNamedType(t, "http", "Header") ||
+		astq.IsNamedType(t, "url", "URL") ||
+		astq.IsNamedType(t, "url", "Values")
+}
+
+func isConstString(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil && tv.Value.Kind() == constant.String
+}

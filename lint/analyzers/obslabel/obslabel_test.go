@@ -1,0 +1,12 @@
+package obslabel_test
+
+import (
+	"testing"
+
+	"surf/lint/analysis/analysistest"
+	"surf/lint/analyzers/obslabel"
+)
+
+func TestObslabel(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), obslabel.Analyzer, "obslabel")
+}

@@ -1,0 +1,37 @@
+// Package obs is a fixture stand-in for the real internal/obs
+// registry: the same instrument-constructor shapes, no behavior. The
+// analyzer matches by package and type name, so this double keeps the
+// fixture self-contained.
+package obs
+
+type Type int
+
+const (
+	TypeCounter Type = iota
+	TypeGauge
+)
+
+type Registry struct{}
+
+type Counter struct{}
+
+func (c *Counter) Add(d float64) {}
+
+type Gauge struct{}
+
+func (g *Gauge) Set(v float64) {}
+
+type Histogram struct{}
+
+func (h *Histogram) Observe(v float64) {}
+
+func (r *Registry) Counter(name, help string, labels ...string) *Counter { return &Counter{} }
+
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge { return &Gauge{} }
+
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	return &Histogram{}
+}
+
+func (r *Registry) Collect(name, help string, typ Type, fn func(emit func(v float64, labels ...string))) {
+}

@@ -1,0 +1,61 @@
+// Fixture for obslabel: constant keys and bounded values pass;
+// dynamic names, dynamic keys, request-derived or computed values,
+// odd lists and spreads are the cardinality regressions.
+package obslabel
+
+import (
+	"fmt"
+	"net/http"
+
+	"obs"
+)
+
+const routeLabel = "route"
+
+func good(r *obs.Registry) {
+	r.Counter("surf_http_requests_total", "Requests served.", "route", "/v1/find", "code", "2xx")
+	r.Counter("surf_hits_total", "Cache hits.", routeLabel, "/v1/stream")
+	r.Histogram("surf_latency_seconds", "Latency.", []float64{0.01, 0.1}, "route", "/v1/find")
+	r.Gauge("surf_inflight", "In-flight requests.")
+	r.Collect("surf_dataset_state", "Lifecycle state.", obs.TypeGauge,
+		func(emit func(v float64, labels ...string)) {
+			// Scrape-time values are bounded by registration, so a
+			// dynamic dataset name is the sanctioned case.
+			emit(1, "dataset", datasetName())
+		})
+}
+
+func datasetName() string { return "taxi" }
+
+func badName(r *obs.Registry, suffix string) {
+	r.Counter("surf_"+suffix, "Dynamic family.", "route", "/x") // want `metric name must be a compile-time constant`
+}
+
+func badKey(r *obs.Registry, key string) {
+	r.Counter("surf_a_total", "A.", key, "v") // want `metric label key must be a compile-time constant string`
+}
+
+// badRequestValue is the motivating regression: one series per
+// distinct URL path, minted by traffic.
+func badRequestValue(r *obs.Registry, req *http.Request) {
+	r.Counter("surf_b_total", "B.", "path", req.URL.Path) // want `metric label value derives from request data`
+}
+
+func badComputed(r *obs.Registry, shard int) {
+	r.Gauge("surf_c", "C.", "shard", fmt.Sprintf("%d", shard)) // want `computed metric label value`
+}
+
+func badOdd(r *obs.Registry) {
+	r.Counter("surf_d_total", "D.", "route") // want `odd label list: labels must be alternating key/value pairs`
+}
+
+func badSpread(r *obs.Registry, labels []string) {
+	r.Counter("surf_e_total", "E.", labels...) // want `label slice spread defeats static label checking`
+}
+
+func badCollectKey(r *obs.Registry, k string) {
+	r.Collect("surf_f", "F.", obs.TypeGauge,
+		func(emit func(v float64, labels ...string)) {
+			emit(1, k, "v") // want `metric label key must be a compile-time constant string`
+		})
+}

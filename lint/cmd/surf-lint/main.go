@@ -1,0 +1,184 @@
+// Command surf-lint is the multichecker for surf's custom correctness
+// analyzers: the machine-enforced invariants the compiler cannot see
+// (context flow, atomic snapshot discipline, deterministic training,
+// the server error envelope, metrics label cardinality, and the
+// //lint:allow escape grammar).
+//
+// Standalone, over the repository root:
+//
+//	surf-lint ./...
+//	surf-lint -C /path/to/repo ./...
+//	surf-lint -checks ctxflow,detrain ./internal/...
+//
+// It exits 0 on a clean tree and 1 with one "path:line:col: message
+// [analyzer]" line per finding otherwise. Suppressions are reviewed
+// escapes in the code: //lint:allow <analyzer>: <reason> — bare or
+// stale allows are themselves findings.
+//
+// As a go vet tool (the unitchecker protocol — cmd/go hands the tool
+// a JSON config per package):
+//
+//	go vet -vettool=$(command -v surf-lint) ./...
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"surf/lint/analysis"
+	"surf/lint/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("surf-lint", flag.ContinueOnError)
+	dir := fs.String("C", ".", "change to `dir` before loading packages")
+	checks := fs.String("checks", "all", "comma-separated analyzer names to run, or all")
+	list := fs.Bool("list", false, "print the analyzer suite and exit")
+	version := fs.String("V", "", "version flag for the go vet tool protocol")
+	vetFlags := fs.Bool("flags", false, "print the tool's flag set as JSON (go vet tool protocol)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version != "" {
+		// The cmd/go vettool handshake: print an identity line and exit.
+		fmt.Printf("surf-lint version v8 (surf custom analyzer suite)\n")
+		return 0
+	}
+	if *vetFlags {
+		// cmd/go asks which analyzer flags the tool accepts; none are
+		// exposed per-analyzer, so the set is empty.
+		fmt.Println("[]")
+		return 0
+	}
+	if *list {
+		for _, a := range suite.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := suite.Select(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "surf-lint:", err)
+		return 2
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && filepath.Ext(rest[0]) == ".cfg" {
+		return runVet(rest[0], analyzers)
+	}
+	patterns := rest
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "surf-lint:", err)
+		return 2
+	}
+	findings, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "surf-lint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "surf-lint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the subset of cmd/go's vet JSON config surf-lint
+// consumes. Facts do not flow between packages here (no analyzer
+// uses them), so PackageVetx inputs are ignored and the VetxOutput
+// is written empty to satisfy the protocol.
+type vetConfig struct {
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	VetxOnly   bool
+	VetxOutput string
+}
+
+// runVet serves one go vet unit: load the package the config
+// describes, analyze, report to stderr in vet's format.
+func runVet(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "surf-lint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "surf-lint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "surf-lint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	if cfg.Dir != "" {
+		// The source importer resolves module-internal imports
+		// relative to the working directory.
+		if err := os.Chdir(cfg.Dir); err != nil {
+			fmt.Fprintln(os.Stderr, "surf-lint:", err)
+			return 1
+		}
+	}
+	pkg, err := loadVetUnit(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "surf-lint:", err)
+		return 1
+	}
+	if pkg == nil {
+		return 0
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "surf-lint:", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", f.Position, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// loadVetUnit type-checks the production files of one vet unit. Test
+// files are dropped — the analyzers enforce production invariants,
+// and the standalone driver never loads them either — so a unit that
+// is all test files (an external _test package) yields a nil package.
+func loadVetUnit(cfg vetConfig) (*analysis.Package, error) {
+	files := make([]string, 0, len(cfg.GoFiles))
+	for _, f := range cfg.GoFiles {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	return analysis.TypeCheckSource(strings.TrimSuffix(cfg.ImportPath, ".test"), files)
+}

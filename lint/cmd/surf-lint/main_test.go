@@ -1,0 +1,50 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestSurfLintSelf dogfoods the suite: the checked-in tree — the surf
+// module and the lint module itself — must produce zero unexpected
+// diagnostics. A finding here means either a real regression slipped
+// in or an escape lost its justification; both block the build.
+func TestSurfLintSelf(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		dir  string
+	}{
+		{"surf module", "../../.."},
+		{"lint module", "../.."},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir, err := filepath.Abs(tc.dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if code := run([]string{"-C", dir, "./..."}); code != 0 {
+				t.Errorf("surf-lint over %s exited %d, want 0 (findings are printed above)", dir, code)
+			}
+		})
+	}
+}
+
+func TestVersionHandshake(t *testing.T) {
+	if code := run([]string{"-V=full"}); code != 0 {
+		t.Errorf("-V=full exited %d, want 0", code)
+	}
+}
+
+func TestListAndSelect(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Errorf("-list exited %d, want 0", code)
+	}
+	if code := run([]string{"-checks", "nosuchcheck", "-list"}); code != 0 {
+		// -list short-circuits before selection; selection errors need
+		// a load attempt.
+		t.Errorf("-list with bad -checks exited %d, want 0", code)
+	}
+	if code := run([]string{"-checks", "nosuchcheck", "-C", "../..", "./analysis/..."}); code != 2 {
+		t.Errorf("unknown -checks exited %d, want 2", code)
+	}
+}

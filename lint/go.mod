@@ -1,0 +1,3 @@
+module surf/lint
+
+go 1.23

@@ -1,0 +1,119 @@
+// Package astq holds the small AST/type query helpers shared by the
+// surf-lint analyzers.
+package astq
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CalleeFunc resolves a call expression to the declared function or
+// method it invokes, or nil for builtins, conversions and calls of
+// function-typed values.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether fn is the package-level function (not a
+// method) pkgPath.name.
+func IsPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Name() != name || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// InspectStack walks the file like ast.Inspect but hands f the stack
+// of enclosing nodes (outermost first, excluding n itself).
+func InspectStack(file *ast.File, f func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := f(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}
+
+// RootIdent peels selectors, indexing, dereferences and parens off an
+// expression and returns the base identifier, or nil when the base is
+// not an identifier (a call result, a literal).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// NamedOrigin unwraps e's type to the origin named type (resolving
+// aliases, pointers and generic instances), or nil.
+func NamedOrigin(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return n.Origin()
+}
+
+// IsNamedType reports whether t (possibly behind a pointer or alias)
+// is the named type pkgName.typeName, matching the package by name —
+// fixtures stand in for real packages under different import paths.
+func IsNamedType(t types.Type, pkgName, typeName string) bool {
+	n := NamedOrigin(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == typeName && n.Obj().Pkg().Name() == pkgName
+}
+
+// HasContextParam reports whether sig has a parameter of type
+// context.Context.
+func HasContextParam(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if IsContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	n := NamedOrigin(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == "Context" && n.Obj().Pkg().Path() == "context"
+}

@@ -1,0 +1,75 @@
+// Package suite assembles the surf-lint analyzer set. The surf-lint
+// binary and the self-test both draw from here, so the checked-in
+// tree and CI always agree on what "clean" means.
+package suite
+
+import (
+	"surf/lint/analysis"
+	"surf/lint/analyzers/atomicsnap"
+	"surf/lint/analyzers/ctxflow"
+	"surf/lint/analyzers/detrain"
+	"surf/lint/analyzers/errenvelope"
+	"surf/lint/analyzers/lintallow"
+	"surf/lint/analyzers/obslabel"
+)
+
+// Analyzers returns the full suite, lintallow included (built over
+// the suite's own names so every //lint:allow must reference a real
+// analyzer).
+func Analyzers() []*analysis.Analyzer {
+	base := []*analysis.Analyzer{
+		atomicsnap.Analyzer,
+		ctxflow.Analyzer,
+		detrain.Analyzer,
+		errenvelope.Analyzer,
+		obslabel.Analyzer,
+	}
+	names := make([]string, 0, len(base))
+	for _, a := range base {
+		names = append(names, a.Name)
+	}
+	return append(base, lintallow.New(names))
+}
+
+// Select resolves a comma-separated analyzer list ("all" or empty
+// selects everything).
+func Select(checks string) ([]*analysis.Analyzer, error) {
+	all := Analyzers()
+	if checks == "" || checks == "all" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range splitComma(checks) {
+		a, ok := byName[name]
+		if !ok {
+			return nil, &UnknownCheckError{Name: name}
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// UnknownCheckError reports a -checks entry naming no analyzer.
+type UnknownCheckError struct{ Name string }
+
+func (e *UnknownCheckError) Error() string {
+	return "unknown analyzer " + e.Name + " (surf-lint -list prints the suite)"
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -350,6 +350,7 @@ func (r *Registry) Acquire(ctx context.Context, name string) (*Handle, error) {
 // training run others are waiting on.
 func (r *Registry) load(name string, spec Spec, version int, ch chan struct{}) {
 	start := time.Now()
+	//lint:allow ctxflow: loads are shared by every waiter; one caller's disconnect must not abort a training run others wait on
 	set, err := buildEngineSet(context.Background(), spec, version)
 	dur := time.Since(start)
 	r.mu.Lock()

@@ -47,6 +47,7 @@
 //	timeout          504     query deadline exceeded
 //	canceled         499     client disconnected mid-query
 //	unready          503     /readyz while the gating datasets are not ready
+//	cannot_stream    501     /v1/stream over a response path that cannot flush
 //	internal         500     anything else
 //
 // # Observability
@@ -190,6 +191,7 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		//lint:allow ctxflow: graceful shutdown must outlive the canceled serve context or every drain would abort instantly
 		sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 		defer cancel()
 		err := srv.Shutdown(sctx)
@@ -251,6 +253,11 @@ var errBodyTooLarge = errors.New("server: request body too large")
 // errUnready is the /readyz failure; it exists so statusFor covers
 // every status the server emits.
 var errUnready = errors.New("server: not ready")
+
+// errCannotStream rejects /v1/stream when the response path cannot
+// flush (a middleware or proxy writer hiding the Flusher), so SSE
+// clients get a mapped envelope instead of a silent buffer.
+var errCannotStream = errors.New("server: response writer cannot stream")
 
 // acquire resolves the request's dataset to an executor plus the
 // release to defer, noting the resolved name on w for the access log.
@@ -315,6 +322,8 @@ func statusFor(err error) (int, string) {
 		return http.StatusUnprocessableEntity, "bad_artifact"
 	case errors.Is(err, errUnready):
 		return http.StatusServiceUnavailable, "unready"
+	case errors.Is(err, errCannotStream):
+		return http.StatusNotImplemented, "cannot_stream"
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, "timeout"
 	case errors.Is(err, context.Canceled):
@@ -560,7 +569,7 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, req streamR
 	// Unwrap chain — calling Flush here would commit a 200 before the
 	// query even validates.
 	if !canFlush(w) {
-		writeError(w, errors.New("server: response writer cannot stream"))
+		writeError(w, errCannotStream)
 		return
 	}
 	rc := http.NewResponseController(w)
@@ -597,6 +606,7 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, req streamR
 	h.Set("Content-Type", "text/event-stream")
 	h.Set("Cache-Control", "no-cache")
 	h.Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	//lint:allow errenvelope: SSE commits 200 before the event loop; failures after this point are terminal stream comments, not envelopes
 	w.WriteHeader(http.StatusOK)
 	_ = rc.Flush()
 

@@ -1,0 +1,14 @@
+// Tool-dependency manifest: the single source of truth for the
+// versions of the external dev tools CI installs (see `make tools`).
+// Nothing imports this module and no go.sum is checked in — builds
+// never link these packages; CI and `make tools` resolve each one
+// with `go install <pkg>@<version>`, reading the version from the
+// require block below.
+module surf/tools
+
+go 1.23
+
+require (
+	golang.org/x/vuln v1.1.4
+	honnef.co/go/tools v0.6.1
+)

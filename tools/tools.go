@@ -1,0 +1,13 @@
+//go:build tools
+
+// Package tools anchors the dev-tool versions in go.mod without
+// linking them into any build. The blank imports name the exact
+// command packages `make tools` installs, and keep an (online)
+// `go mod tidy` from dropping the pins; the build tag keeps every
+// normal build and test run from resolving them.
+package tools
+
+import (
+	_ "golang.org/x/vuln/cmd/govulncheck"
+	_ "honnef.co/go/tools/cmd/staticcheck"
+)
