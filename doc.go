@@ -137,6 +137,28 @@
 // training behaves the same way, committing its extra trees
 // all-or-nothing.
 //
+// # Inference backends
+//
+// Every surrogate prediction — the swarm's batch objective,
+// PredictStatistic(Batch), FindMany — is served by a pluggable
+// inference kernel chosen at Open time. WithInferenceKernel selects
+// one of InferenceKernels(): "scalar", the portable flat-node float64
+// traversal, or "binned" (the default), which quantizes split
+// thresholds into per-feature cut ranks at compile time, pre-bins each
+// row's values into uint16 bin indices with one branchless binary
+// search per feature, and walks 8-byte integer-comparison nodes in
+// L1-sized row tiles. Binning is by rank, not by rounded value, so
+// every backend predicts bit-for-bit identically — the choice is
+// purely an execution knob and never changes mined regions (a
+// differential fuzz target holds backends to that contract). Without
+// the option, the SURF_KERNEL environment variable decides, then the
+// built-in default. SurrogateInfo.Kernel reports the backend actually
+// serving the current snapshot: an ensemble a backend cannot represent
+// (the binned encoding bounds features and distinct cuts per feature
+// at 65535) falls back to scalar and reports that. Artifacts carry
+// weights, not a backend — a loaded artifact is recompiled for the
+// loading engine's kernel.
+//
 // # Serving and caching
 //
 // Package surf/server exposes an Engine over HTTP: POST /v1/find,

@@ -4,10 +4,13 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
+	"strings"
 	"sync/atomic"
 
 	"surf/internal/core"
 	"surf/internal/dataset"
+	"surf/internal/gbt/kernel"
 	"surf/internal/geom"
 	"surf/internal/ml"
 )
@@ -130,6 +133,7 @@ type Engine struct {
 	evaluator dataset.Evaluator
 	domain    geom.Rect
 	observer  func(Event)
+	kernel    kernel.Backend
 	surrogate atomic.Pointer[snapshot]
 	snapGen   atomic.Uint64
 	cache     *resultCache
@@ -166,13 +170,21 @@ func (sn *snapshot) generation() uint64 {
 	return sn.gen
 }
 
-// setSnapshot stamps sn with a fresh generation and atomically swaps
-// it in. The cache is cleared first — entries under older generations
-// could never be served anyway (keys embed the generation), clearing
-// just stops them crowding out live entries — so no moment exists
-// where the new snapshot is visible alongside results that predate
-// it.
+// setSnapshot recompiles the surrogate for the engine's inference
+// backend (a no-op when it already serves through it), stamps the
+// provenance with the backend actually serving — the scalar fallback
+// when the configured backend cannot represent the ensemble — and a
+// fresh generation, and atomically swaps the snapshot in. Every swap
+// path (train, CV train, artifact and legacy loads) funnels through
+// here, so the kernel carried on a snapshot can never disagree with
+// the model answering its queries. The cache is cleared first —
+// entries under older generations could never be served anyway (keys
+// embed the generation), clearing just stops them crowding out live
+// entries — so no moment exists where the new snapshot is visible
+// alongside results that predate it.
 func (e *Engine) setSnapshot(sn *snapshot) {
+	sn.surr = sn.surr.Recompiled(e.kernel)
+	sn.info.Kernel = sn.surr.Kernel().Name()
 	sn.gen = e.snapGen.Add(1)
 	e.cache.clear()
 	e.surrogate.Store(sn)
@@ -197,6 +209,10 @@ func Open(ds *Dataset, cfg Config, opts ...Option) (*Engine, error) {
 	for _, opt := range opts {
 		opt(&eo)
 	}
+	kb, err := resolveKernel(eo.kernelName)
+	if err != nil {
+		return nil, err
+	}
 	spec := dataset.Spec{Stat: kind}
 	for _, name := range cfg.FilterColumns {
 		i := ds.inner.ColByName(name)
@@ -218,7 +234,6 @@ func Open(ds *Dataset, cfg Config, opts ...Option) (*Engine, error) {
 	dims := len(spec.FilterCols)
 
 	var ev dataset.Evaluator
-	var err error
 	switch {
 	case eo.backend != nil:
 		ev = backendEvaluator{b: eo.backend, spec: spec, dims: dims}
@@ -267,8 +282,29 @@ func Open(ds *Dataset, cfg Config, opts ...Option) (*Engine, error) {
 		evaluator: ev,
 		domain:    domain,
 		observer:  eo.observer,
+		kernel:    kb,
 		cache:     newResultCache(cacheSize),
 	}, nil
+}
+
+// resolveKernel maps the WithInferenceKernel option to an inference
+// backend: an explicit name must be registered (unknown names are a
+// config error, caught at Open rather than at the first prediction);
+// with no option the SURF_KERNEL environment variable, then the
+// built-in default, decide.
+func resolveKernel(name string) (kernel.Backend, error) {
+	if name == "" {
+		name = os.Getenv(kernel.EnvVar)
+	}
+	if name == "" {
+		return kernel.Default(), nil
+	}
+	b, ok := kernel.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown inference kernel %q (have %s)",
+			ErrBadConfig, name, strings.Join(kernel.Names(), ", "))
+	}
+	return b, nil
 }
 
 // Dims returns the region dimensionality d.
@@ -394,6 +430,12 @@ type SurrogateInfo struct {
 	LearningRate float64
 	Lambda       float64
 	HyperTuned   bool
+	// Kernel names the inference backend serving this snapshot
+	// ("scalar", "binned"). It is a property of the serving engine,
+	// not of the trained weights: artifacts restore with the loading
+	// engine's backend, and a backend that cannot represent the
+	// ensemble reports the scalar fallback actually serving it.
+	Kernel string
 }
 
 // CacheStats reports the result cache's lifetime hit/miss counters
@@ -442,7 +484,11 @@ func (e *Engine) PredictStatisticBatch(rows [][]float64, out []float64) error {
 }
 
 // predictBatch validates a batch-prediction request against one
-// surrogate snapshot and runs it.
+// surrogate snapshot and runs it. The engine-level checks map shape
+// errors to the public sentinels (ErrBadQuery for the output length,
+// ErrDimMismatch for row widths); the surrogate's own validating
+// boundary backstops them, so no request shape can ever reach the
+// kernel's internal panics.
 func predictBatch(s *core.Surrogate, dims int, rows [][]float64, out []float64) error {
 	if len(out) != len(rows) {
 		return fmt.Errorf("%w: output of length %d for %d rows", ErrBadQuery, len(out), len(rows))
@@ -453,7 +499,9 @@ func predictBatch(s *core.Surrogate, dims int, rows [][]float64, out []float64) 
 				ErrDimMismatch, i, len(r), dims)
 		}
 	}
-	s.PredictBatch(rows, out)
+	if err := s.PredictBatch(rows, out); err != nil {
+		return fmt.Errorf("%w: %v", ErrDimMismatch, err)
+	}
 	return nil
 }
 

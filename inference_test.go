@@ -1,6 +1,7 @@
 package surf
 
 import (
+	"bytes"
 	"errors"
 	"sync"
 	"testing"
@@ -72,6 +73,59 @@ func TestPredictStatisticBatch(t *testing.T) {
 	for i := range out {
 		if sessOut[i] != out[i] {
 			t.Fatalf("session batch diverged at row %d", i)
+		}
+	}
+}
+
+// TestInferenceKernelSelection: WithInferenceKernel picks the backend
+// serving the surrogate, SurrogateInfo reports it, an unknown name is
+// a config error at Open, and every backend predicts bit-identically —
+// the whole point of the kernel seam.
+func TestInferenceKernelSelection(t *testing.T) {
+	if _, err := Open(crimeGrid(500, 39), Config{FilterColumns: []string{"x", "y"}, Statistic: Count},
+		WithInferenceKernel("simd9000")); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("unknown kernel: got %v, want ErrBadConfig", err)
+	}
+
+	names := InferenceKernels()
+	if len(names) < 2 {
+		t.Fatalf("InferenceKernels() = %v, want scalar and binned at least", names)
+	}
+
+	// Train once, then restore the identical artifact into one engine
+	// per backend: artifacts carry weights, not a backend, so each
+	// engine recompiles for its own kernel.
+	ref := inferenceEngine(t)
+	var art bytes.Buffer
+	if err := ref.SaveSurrogate(&art); err != nil {
+		t.Fatal(err)
+	}
+	rows := probeRows(300)
+	outs := make([][]float64, len(names))
+	for i, name := range names {
+		eng, err := Open(crimeGrid(5000, 31), Config{FilterColumns: []string{"x", "y"}, Statistic: Count},
+			WithInferenceKernel(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.LoadSurrogate(bytes.NewReader(art.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		info, ok := eng.SurrogateInfo()
+		if !ok || info.Kernel != name {
+			t.Fatalf("SurrogateInfo.Kernel = %q (ok=%v), want %q", info.Kernel, ok, name)
+		}
+		outs[i] = make([]float64, len(rows))
+		if err := eng.PredictStatisticBatch(rows, outs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < len(outs); i++ {
+		for j := range rows {
+			if outs[i][j] != outs[0][j] {
+				t.Fatalf("kernels %s and %s diverge at row %d: %v != %v",
+					names[i], names[0], j, outs[i][j], outs[0][j])
+			}
 		}
 	}
 }

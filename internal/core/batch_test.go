@@ -161,7 +161,7 @@ func benchSwarmStep(b *testing.B, s *Surrogate, ds *synth.Dataset, batch bool) {
 		b.Fatal(err)
 	}
 	if batch {
-		finder.AttachBatch(s)
+		finder.AttachBatch(s.Kernel())
 	}
 	g := gso.DefaultParams()
 	g.Glowworms = 200

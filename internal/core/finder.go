@@ -170,8 +170,11 @@ func NewFinder(stat StatFn, domain geom.Rect) (*Finder, error) {
 }
 
 // NewSurrogateFinder builds a finder whose statistic function is the
-// surrogate, with its compiled batch predictor attached so the swarm
-// evaluates whole particle shards per model pass.
+// surrogate, with its compiled kernel attached as the batch predictor
+// so the swarm evaluates whole particle shards per model pass. The
+// swarm's positions are always well-formed [x, l] rows, so the kernel
+// is attached directly — the surrogate's validating PredictBatch
+// boundary is for caller-supplied batches.
 func NewSurrogateFinder(s *Surrogate, domain geom.Rect) (*Finder, error) {
 	if s == nil {
 		return nil, errors.New("core: nil surrogate")
@@ -180,7 +183,7 @@ func NewSurrogateFinder(s *Surrogate, domain geom.Rect) (*Finder, error) {
 	if err != nil {
 		return nil, err
 	}
-	f.AttachBatch(s)
+	f.AttachBatch(s.Kernel())
 	return f, nil
 }
 

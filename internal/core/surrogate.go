@@ -9,6 +9,7 @@ import (
 
 	"surf/internal/dataset"
 	"surf/internal/gbt"
+	"surf/internal/gbt/kernel"
 	"surf/internal/ml"
 )
 
@@ -16,22 +17,24 @@ import (
 // statistic function f from past region evaluations (paper Section
 // IV). It consumes the (2d)-dimensional [x, l] encoding.
 //
-// Every surrogate carries a compiled flat-array snapshot of its
-// ensemble (built once at train/load time) that serves all
+// Every surrogate carries a kernel-compiled snapshot of its ensemble
+// (built once at train/load time with the process-default inference
+// backend; see Recompiled to choose another) that serves all
 // predictions; PredictBatch evaluates whole probe batches against it
 // without per-probe allocation. A Surrogate is immutable and safe for
 // concurrent use.
 type Surrogate struct {
-	model    *gbt.Model
-	compiled *gbt.CompiledModel
-	dims     int
+	model *gbt.Model
+	kern  kernel.Model
+	dims  int
 }
 
 // newSurrogate wraps a trained ensemble, compiling the inference
-// snapshot. All construction paths (train, CV train, load) go through
-// here so the compiled form can never be stale.
+// snapshot with the process-default backend. All construction paths
+// (train, CV train, load) go through here so the compiled form can
+// never be stale.
 func newSurrogate(model *gbt.Model, dims int) *Surrogate {
-	return &Surrogate{model: model, compiled: model.Compile(), dims: dims}
+	return &Surrogate{model: model, kern: model.Compile(), dims: dims}
 }
 
 // NewSurrogateFromModel wraps an already-deserialized ensemble as a
@@ -159,8 +162,27 @@ func (s *Surrogate) ContinueTrainingContext(ctx context.Context, extra int, log 
 	return newSurrogate(m, s.dims), nil
 }
 
-// Compiled exposes the flat inference snapshot built at construction.
-func (s *Surrogate) Compiled() *gbt.CompiledModel { return s.compiled }
+// Kernel exposes the compiled inference snapshot built at
+// construction. Its Name reports the backend actually serving
+// predictions (which may be the scalar fallback when the requested
+// backend could not represent the ensemble).
+func (s *Surrogate) Kernel() kernel.Model { return s.kern }
+
+// Recompiled returns a surrogate serving the same ensemble through
+// backend b, falling back to the scalar backend when b cannot
+// represent it. When the receiver already serves through b it is
+// returned unchanged — the engine calls this on every snapshot swap,
+// and the common case (backend unchanged) must not recompile.
+func (s *Surrogate) Recompiled(b kernel.Backend) *Surrogate {
+	if s.kern.Name() == b.Name() {
+		return s
+	}
+	return &Surrogate{model: s.model, kern: s.model.CompileWith(b), dims: s.dims}
+}
+
+// ErrDimMismatch reports a prediction request whose shape does not
+// match the surrogate's [x, l] encoding.
+var ErrDimMismatch = errors.New("core: dimension mismatch")
 
 // Predict estimates the statistic for a region.
 func (s *Surrogate) Predict(x, l []float64) float64 {
@@ -170,16 +192,30 @@ func (s *Surrogate) Predict(x, l []float64) float64 {
 	row := make([]float64, 0, 2*s.dims)
 	row = append(row, x...)
 	row = append(row, l...)
-	return s.compiled.Predict1(row)
+	return s.kern.Predict1(row)
 }
 
 // PredictBatch estimates the statistic for a batch of regions, each
 // given as one flat [x, l] row of length 2·Dims (the optimizer's
 // solution-space encoding), writing the i-th estimate to out[i]. It
-// performs no allocation: out must have exactly len(rows) entries.
-// Results are bit-for-bit equal to per-region Predict calls.
-func (s *Surrogate) PredictBatch(rows [][]float64, out []float64) {
-	s.compiled.PredictBatch(rows, out)
+// performs no allocation beyond validation: out must have exactly
+// len(rows) entries and every row length 2·Dims — a malformed batch
+// returns an error wrapping ErrDimMismatch instead of reaching the
+// kernel's internal panics, so no caller-supplied shape can take down
+// a serving goroutine. Results are bit-for-bit equal to per-region
+// Predict calls.
+func (s *Surrogate) PredictBatch(rows [][]float64, out []float64) error {
+	if len(out) != len(rows) {
+		return fmt.Errorf("%w: output of length %d for %d rows", ErrDimMismatch, len(out), len(rows))
+	}
+	for i, r := range rows {
+		if len(r) != 2*s.dims {
+			return fmt.Errorf("%w: row %d of length %d for %d-dim surrogate (want 2·d)",
+				ErrDimMismatch, i, len(r), s.dims)
+		}
+	}
+	s.kern.PredictBatch(rows, out)
+	return nil
 }
 
 // StatFn adapts the surrogate to the objective's StatFn type.

@@ -91,7 +91,7 @@ func ablationGradient(rep *Report, scale Scale) error {
 		if err != nil {
 			return err
 		}
-		regions, _, err := mineWithBatch(s.StatFn(), s, ds, Small, uint64(185+si))
+		regions, _, err := mineWithBatch(s.StatFn(), s.Kernel(), ds, Small, uint64(185+si))
 		if err != nil {
 			return err
 		}

@@ -215,7 +215,7 @@ func Fig11Surrogate(scale Scale) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		regions, _, err := mineWithBatch(s.StatFn(), s, ds, Small, uint64(114+qi))
+		regions, _, err := mineWithBatch(s.StatFn(), s.Kernel(), ds, Small, uint64(114+qi))
 		if err != nil {
 			return nil, err
 		}
@@ -326,7 +326,7 @@ func Fig12Complexity(scale Scale) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		regions, _, err := mineWithBatch(s.StatFn(), s, ds, Small, uint64(133+depth))
+		regions, _, err := mineWithBatch(s.StatFn(), s.Kernel(), ds, Small, uint64(133+depth))
 		if err != nil {
 			return nil, err
 		}

@@ -148,7 +148,7 @@ func runSuRF(ds *synth.Dataset, scale Scale, seed uint64) (regions []geom.Rect, 
 	if err != nil {
 		return nil, 0, err
 	}
-	return mineWithBatch(s.StatFn(), s, ds, scale, seed)
+	return mineWithBatch(s.StatFn(), s.Kernel(), ds, scale, seed)
 }
 
 // runFGlowWorm mines with GSO against the true f — the paper's

@@ -2,197 +2,54 @@
 
 package gbt
 
-import "fmt"
+import "surf/internal/gbt/kernel"
 
-// cnode is one compiled tree node, packed into 16 bytes so a cache
-// line holds four nodes. Internal nodes carry the split threshold and
-// feature plus the index of their left child; the right child always
-// sits at kids+1 (the compiler re-lays nodes out breadth-first to
-// guarantee it). Leaves are encoded inline: feature is leafMarker and
-// threshold holds the shrunken leaf weight.
-type cnode struct {
-	threshold float64
-	feature   int32
-	kids      int32
-}
+// The compiled inference form lives in the kernel subpackage, behind
+// the pluggable Backend interface: "scalar" is the portable flat-node
+// float64 traversal, "binned" the pre-binned uint16 fast path. Both
+// produce bit-for-bit the predictions of Model.Predict1; this file is
+// only the bridge from the trained ensemble to that seam.
 
-// CompiledModel is an immutable, inference-only form of a trained
-// Model: all trees are flattened into one contiguous node array with
-// flat per-tree root offsets, child pointers rebased to absolute
-// indices and leaves encoded inline. Compared to walking []*tree node
-// structs it removes a pointer indirection per tree, drops the
-// training-only Gain field from the hot data and packs each node into
-// a quarter cache line — so batched prediction streams rows against
-// cache-resident tree data instead of dragging the whole ensemble
-// through the cache once per row.
-//
-// A CompiledModel is safe for concurrent use and produces bit-for-bit
-// the same predictions as the Model it was compiled from (same
-// traversal decisions, same summation order).
-type CompiledModel struct {
-	baseScore float64
-	nfeat     int
-	// roots[t] is the absolute index of tree t's root node.
-	roots []int32
-	nodes []cnode
-}
-
-// Compile flattens the ensemble into a CompiledModel snapshot. The
-// snapshot is independent of the Model: later training continuation
-// does not affect it.
-func (m *Model) Compile() *CompiledModel {
-	total := 0
-	for _, t := range m.trees {
-		total += len(t.Nodes)
+// Ensemble snapshots the trained ensemble into the kernel's neutral
+// form. The snapshot is independent of the Model: later training
+// continuation does not affect it.
+func (m *Model) Ensemble() kernel.Ensemble {
+	e := kernel.Ensemble{
+		BaseScore:   m.baseScore,
+		NumFeatures: m.nfeat,
+		Trees:       make([][]kernel.Node, 0, len(m.trees)),
 	}
-	c := &CompiledModel{
-		baseScore: m.baseScore,
-		nfeat:     m.nfeat,
-		roots:     make([]int32, 0, len(m.trees)),
-		nodes:     make([]cnode, 0, total),
-	}
-	var order []int32
-	var newIdx []int32
 	for _, t := range m.trees {
-		off := int32(len(c.nodes))
-		c.roots = append(c.roots, off)
-		// Breadth-first re-layout: both children of a split are
-		// enqueued back-to-back, so siblings always land in adjacent
-		// slots and the right child index is implicit.
-		order = append(order[:0], 0)
-		if cap(newIdx) < len(t.Nodes) {
-			newIdx = make([]int32, len(t.Nodes))
-		}
-		newIdx = newIdx[:len(t.Nodes)]
-		for qi := 0; qi < len(order); qi++ {
-			old := order[qi]
-			newIdx[old] = off + int32(qi)
-			if n := &t.Nodes[old]; n.Feature != leafMarker {
-				order = append(order, n.Left, n.Right)
-			}
-		}
-		for _, old := range order {
-			n := &t.Nodes[old]
+		nodes := make([]kernel.Node, len(t.Nodes))
+		for i := range t.Nodes {
+			n := &t.Nodes[i]
 			if n.Feature == leafMarker {
-				c.nodes = append(c.nodes, cnode{threshold: n.Weight, feature: leafMarker})
+				nodes[i] = kernel.Node{Feature: kernel.LeafFeature, Threshold: n.Weight}
 			} else {
-				c.nodes = append(c.nodes, cnode{
-					threshold: n.Threshold,
-					feature:   n.Feature,
-					kids:      newIdx[n.Left],
-				})
-			}
-		}
-	}
-	return c
-}
-
-// NumFeatures returns the feature dimensionality the model expects.
-func (c *CompiledModel) NumFeatures() int { return c.nfeat }
-
-// NumTrees returns the number of trees in the compiled ensemble.
-func (c *CompiledModel) NumTrees() int { return len(c.roots) }
-
-// NumNodes returns the total node count across all trees.
-func (c *CompiledModel) NumNodes() int { return len(c.nodes) }
-
-// gt is the branch-free child selector: 0 when the row value is ≤ the
-// split threshold (go left), else 1 — phrased as a negated ≤ rather
-// than > so a NaN row value selects the right child exactly like the
-// node-walking `row[f] <= threshold` test. Written so the compiler
-// lowers it to a flag-set instruction instead of a data-dependent
-// branch — tree splits are close to coin flips, and a mispredict per
-// node costs more than the whole comparison.
-func gt(a, b float64) int32 {
-	if a <= b {
-		return 0
-	}
-	return 1
-}
-
-// leaf walks one tree from root for one row and returns the leaf node
-// index.
-func (c *CompiledModel) leaf(root int32, row []float64) int32 {
-	nodes := c.nodes
-	idx := root
-	for {
-		n := &nodes[idx]
-		if n.feature < 0 {
-			return idx
-		}
-		idx = n.kids + gt(row[n.feature], n.threshold)
-	}
-}
-
-// Predict1 returns the prediction for a single raw feature row,
-// bit-for-bit equal to Model.Predict1.
-func (c *CompiledModel) Predict1(row []float64) float64 {
-	if len(row) != c.nfeat {
-		panic(fmt.Sprintf("gbt: Predict1 row of dimension %d, want %d", len(row), c.nfeat))
-	}
-	out := c.baseScore
-	for _, root := range c.roots {
-		out += c.nodes[c.leaf(root, row)].threshold
-	}
-	return out
-}
-
-// PredictBatch writes predictions for every row of X into out without
-// allocating: out must have exactly len(X) entries and every row must
-// have NumFeatures columns (all rows are validated up front).
-//
-// Trees iterate in the outer loop and rows in the inner loop, so each
-// tree's nodes are loaded into cache once per batch rather than once
-// per row, and four rows walk the tree in lockstep to overlap their
-// dependent node loads. The per-row sums still accumulate in ensemble
-// order, keeping results bit-for-bit equal to Predict1.
-func (c *CompiledModel) PredictBatch(X [][]float64, out []float64) {
-	if len(out) != len(X) {
-		panic(fmt.Sprintf("gbt: PredictBatch output of length %d for %d rows", len(out), len(X)))
-	}
-	for i, row := range X {
-		if len(row) != c.nfeat {
-			panic(fmt.Sprintf("gbt: PredictBatch row %d of dimension %d, want %d", i, len(row), c.nfeat))
-		}
-		out[i] = c.baseScore
-	}
-	nodes := c.nodes
-	for _, root := range c.roots {
-		i := 0
-		for ; i+4 <= len(X); i += 4 {
-			r0, r1, r2, r3 := X[i], X[i+1], X[i+2], X[i+3]
-			n0, n1, n2, n3 := root, root, root, root
-			f0 := nodes[n0].feature
-			f1, f2, f3 := f0, f0, f0
-			for f0 >= 0 || f1 >= 0 || f2 >= 0 || f3 >= 0 {
-				if f0 >= 0 {
-					n := &nodes[n0]
-					n0 = n.kids + gt(r0[f0], n.threshold)
-					f0 = nodes[n0].feature
-				}
-				if f1 >= 0 {
-					n := &nodes[n1]
-					n1 = n.kids + gt(r1[f1], n.threshold)
-					f1 = nodes[n1].feature
-				}
-				if f2 >= 0 {
-					n := &nodes[n2]
-					n2 = n.kids + gt(r2[f2], n.threshold)
-					f2 = nodes[n2].feature
-				}
-				if f3 >= 0 {
-					n := &nodes[n3]
-					n3 = n.kids + gt(r3[f3], n.threshold)
-					f3 = nodes[n3].feature
+				nodes[i] = kernel.Node{
+					Feature:   n.Feature,
+					Threshold: n.Threshold,
+					Left:      n.Left,
+					Right:     n.Right,
 				}
 			}
-			out[i] += nodes[n0].threshold
-			out[i+1] += nodes[n1].threshold
-			out[i+2] += nodes[n2].threshold
-			out[i+3] += nodes[n3].threshold
 		}
-		for ; i < len(X); i++ {
-			out[i] += nodes[c.leaf(root, X[i])].threshold
-		}
+		e.Trees = append(e.Trees, nodes)
 	}
+	return e
+}
+
+// Compile builds an inference snapshot with the process-default
+// backend (SURF_KERNEL, or the binned fast path). The result is
+// immutable, safe for concurrent use, and predicts bit-for-bit what
+// Model.Predict1 returns.
+func (m *Model) Compile() kernel.Model {
+	return m.CompileWith(kernel.Default())
+}
+
+// CompileWith builds an inference snapshot with backend b, falling
+// back to the scalar backend when b cannot represent the ensemble
+// (Model.Name on the result reports the backend actually serving it).
+func (m *Model) CompileWith(b kernel.Backend) kernel.Model {
+	return kernel.Compile(b, m.Ensemble())
 }

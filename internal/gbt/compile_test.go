@@ -5,7 +5,29 @@ import (
 	"math/rand/v2"
 	"testing"
 	"testing/quick"
+
+	"surf/internal/gbt/kernel"
 )
+
+// allBackends resolves every registered inference backend; the
+// differential tests below must hold for each of them, not just the
+// default.
+func allBackends(t *testing.T) []kernel.Backend {
+	t.Helper()
+	names := kernel.Names()
+	if len(names) < 2 {
+		t.Fatalf("expected at least scalar+binned backends, have %v", names)
+	}
+	bs := make([]kernel.Backend, len(names))
+	for i, n := range names {
+		b, ok := kernel.Lookup(n)
+		if !ok {
+			t.Fatalf("Names lists %q but Lookup misses it", n)
+		}
+		bs[i] = b
+	}
+	return bs
+}
 
 // compileVariants covers the ensemble shapes the compiler must
 // preserve: single-leaf trees (depth 0 and constant labels), deep
@@ -30,11 +52,12 @@ func compileVariants() []Params {
 }
 
 // TestCompiledMatchesModelQuick is the differential property test:
-// for random ensembles, the compiled predictor must match the node
-// walking model bit-for-bit, row by row and in batch, on probes inside
-// and far outside the training domain.
+// for random ensembles, every registered inference backend must match
+// the node-walking model bit-for-bit, row by row and in batch, on
+// probes inside and far outside the training domain.
 func TestCompiledMatchesModelQuick(t *testing.T) {
 	rng := rand.New(rand.NewPCG(71, 1))
+	backends := allBackends(t)
 	for vi, p := range compileVariants() {
 		X, y := synthRegression(rng, 900)
 		if p.MaxDepth == 0 {
@@ -46,11 +69,6 @@ func TestCompiledMatchesModelQuick(t *testing.T) {
 		m, err := Train(p, X, y, nil, nil)
 		if err != nil {
 			t.Fatalf("variant %d: %v", vi, err)
-		}
-		c := m.Compile()
-		if c.NumTrees() != m.NumTrees() || c.NumFeatures() != m.NumFeatures() {
-			t.Fatalf("variant %d: compiled shape %d trees/%d feats, model %d/%d",
-				vi, c.NumTrees(), c.NumFeatures(), m.NumTrees(), m.NumFeatures())
 		}
 		probes := make([][]float64, 400)
 		for i := range probes {
@@ -65,17 +83,30 @@ func TestCompiledMatchesModelQuick(t *testing.T) {
 			[]float64{math.Inf(1), math.Inf(-1)},
 			[]float64{math.Inf(-1), math.Inf(1)},
 		)
-		for _, row := range probes {
-			if got, want := c.Predict1(row), m.Predict1(row); got != want {
-				t.Fatalf("variant %d: compiled Predict1 %v != model %v on %v", vi, got, want, row)
-			}
-		}
-		out := make([]float64, len(probes))
-		c.PredictBatch(probes, out)
 		want := m.Predict(probes)
-		for i := range out {
-			if out[i] != want[i] {
-				t.Fatalf("variant %d: PredictBatch[%d] = %v, model %v", vi, i, out[i], want[i])
+		for _, b := range backends {
+			c := m.CompileWith(b)
+			if c.Name() != b.Name() {
+				t.Fatalf("variant %d: backend %s compiled to %s (unexpected fallback)",
+					vi, b.Name(), c.Name())
+			}
+			if c.NumTrees() != m.NumTrees() || c.NumFeatures() != m.NumFeatures() {
+				t.Fatalf("variant %d/%s: compiled shape %d trees/%d feats, model %d/%d",
+					vi, b.Name(), c.NumTrees(), c.NumFeatures(), m.NumTrees(), m.NumFeatures())
+			}
+			for _, row := range probes {
+				if got, w := c.Predict1(row), m.Predict1(row); got != w {
+					t.Fatalf("variant %d/%s: compiled Predict1 %v != model %v on %v",
+						vi, b.Name(), got, w, row)
+				}
+			}
+			out := make([]float64, len(probes))
+			c.PredictBatch(probes, out)
+			for i := range out {
+				if out[i] != want[i] {
+					t.Fatalf("variant %d/%s: PredictBatch[%d] = %v, model %v",
+						vi, b.Name(), i, out[i], want[i])
+				}
 			}
 		}
 	}
@@ -147,27 +178,30 @@ func TestBatchValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := m.Compile()
 	good := [][]float64{{1, 2}, {3, 4}, {5, 6}}
 	badRow2 := [][]float64{{1, 2}, {3, 4}, {5}}
 	out := make([]float64, 3)
 
-	mustPanic(t, "PredictBatch short out", func() { c.PredictBatch(good, out[:2]) })
-	mustPanic(t, "PredictBatch bad row 2", func() { c.PredictBatch(badRow2, out) })
 	mustPanic(t, "PredictInto short out", func() { m.PredictInto(good, out[:2]) })
 	mustPanic(t, "PredictInto bad row 2", func() { m.PredictInto(badRow2, out) })
-	mustPanic(t, "compiled Predict1 bad row", func() { c.Predict1([]float64{1}) })
-
-	// Empty batches are no-ops.
-	c.PredictBatch(nil, nil)
 	m.PredictInto(nil, nil)
 
-	// Valid batches still work after the panics above.
-	c.PredictBatch(good, out)
 	want := m.Predict(good)
-	for i := range out {
-		if out[i] != want[i] {
-			t.Fatalf("PredictBatch[%d] = %v, want %v", i, out[i], want[i])
+	for _, b := range allBackends(t) {
+		c := m.CompileWith(b)
+		mustPanic(t, b.Name()+" PredictBatch short out", func() { c.PredictBatch(good, out[:2]) })
+		mustPanic(t, b.Name()+" PredictBatch bad row 2", func() { c.PredictBatch(badRow2, out) })
+		mustPanic(t, b.Name()+" Predict1 bad row", func() { c.Predict1([]float64{1}) })
+
+		// Empty batches are no-ops.
+		c.PredictBatch(nil, nil)
+
+		// Valid batches still work after the panics above.
+		c.PredictBatch(good, out)
+		for i := range out {
+			if out[i] != want[i] {
+				t.Fatalf("%s: PredictBatch[%d] = %v, want %v", b.Name(), i, out[i], want[i])
+			}
 		}
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"surf/internal/gbt/kernel"
 )
 
 // The inference micro-benchmarks compare the row-at-a-time node-walk
@@ -20,7 +22,7 @@ import (
 var inferenceBench struct {
 	once sync.Once
 	m    *Model
-	c    *CompiledModel
+	c    kernel.Model
 	X    [][]float64
 	out  []float64
 }

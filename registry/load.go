@@ -56,7 +56,14 @@ func buildEngineSet(ctx context.Context, spec Spec, version int) (*engineSet, er
 		TargetColumn:  spec.TargetColumn,
 		UseGridIndex:  spec.UseGridIndex,
 	}
-	full, err := surf.Open(ds, cfg)
+	// The spec's inference backend applies to the full engine and every
+	// shard alike; an empty name lets the engine resolve the process
+	// default (SURF_KERNEL, then the built-in default).
+	var opts []surf.Option
+	if spec.Kernel != "" {
+		opts = append(opts, surf.WithInferenceKernel(spec.Kernel))
+	}
+	full, err := surf.Open(ds, cfg, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +82,7 @@ func buildEngineSet(ctx context.Context, spec Spec, version int) (*engineSet, er
 			if err != nil {
 				return nil, err
 			}
-			se, err := surf.Open(sub, cfg, surf.WithDomain(min, max))
+			se, err := surf.Open(sub, cfg, append(opts, surf.WithDomain(min, max))...)
 			if err != nil {
 				return nil, fmt.Errorf("shard %d: %w", i, err)
 			}

@@ -46,6 +46,12 @@ type Spec struct {
 	// Shards splits execution across this many contiguous row-range
 	// shards (0 or 1 = unsharded).
 	Shards int `json:"shards,omitempty"`
+	// Kernel names the inference backend serving the entry's surrogate
+	// predictions — one of surf.InferenceKernels(); empty defers to the
+	// SURF_KERNEL environment variable, then the built-in default.
+	// Every backend predicts bit-identically, so this is purely an
+	// execution knob and never changes query results.
+	Kernel string `json:"kernel,omitempty"`
 	// UseGridIndex builds grid indexes for true-function evaluation.
 	UseGridIndex bool `json:"use_grid_index,omitempty"`
 }
@@ -70,6 +76,9 @@ func (s Spec) merge(prev Spec) Spec {
 	}
 	if s.Shards == 0 {
 		s.Shards = prev.Shards
+	}
+	if s.Kernel == "" {
+		s.Kernel = prev.Kernel
 	}
 	switch {
 	case s.Artifact != "" || s.Train > 0:
@@ -99,6 +108,19 @@ func (s Spec) validate() error {
 	}
 	if _, err := surf.ParseStatistic(s.Statistic); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if s.Kernel != "" {
+		known := false
+		for _, k := range surf.InferenceKernels() {
+			if k == s.Kernel {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("%w: unknown inference kernel %q (have %v)",
+				ErrBadSpec, s.Kernel, surf.InferenceKernels())
+		}
 	}
 	if _, err := os.Stat(s.Data); err != nil {
 		return fmt.Errorf("%w: dataset: %v", ErrBadSpec, err)

@@ -69,6 +69,7 @@ func newServerMetrics(eng *surf.Engine, reg *registry.Registry) *serverMetrics {
 		m.routes[pattern] = m.newRoute(pattern)
 	}
 	m.fallback = m.newRoute("other")
+	m.collectKernels()
 
 	switch {
 	case reg != nil:
@@ -82,8 +83,39 @@ func newServerMetrics(eng *surf.Engine, reg *registry.Registry) *serverMetrics {
 			func(emit func(v float64, labels ...string)) {
 				emit(float64(eng.CacheStats().Misses))
 			})
+		r.Collect("surf_kernel_active", "Inference backend serving the engine's surrogate (1 = active).", obs.TypeGauge,
+			func(emit func(v float64, labels ...string)) {
+				if info, ok := eng.SurrogateInfo(); ok && info.Kernel != "" {
+					emit(1, "kernel", info.Kernel)
+				}
+			})
 	}
 	return m
+}
+
+// collectKernels registers the per-backend inference activity
+// collectors. The counters are process-wide (the gbt kernel layer
+// records every prediction, whichever engine served it), so both the
+// single-engine and registry servers export the same families.
+func (m *serverMetrics) collectKernels() {
+	m.reg.Collect("surf_kernel_rows_predicted_total", "Rows predicted per inference backend.", obs.TypeCounter,
+		func(emit func(v float64, labels ...string)) {
+			for _, k := range obs.KernelSnapshot() {
+				emit(float64(k.Rows), "kernel", k.Name)
+			}
+		})
+	m.reg.Collect("surf_kernel_batches_total", "Prediction calls (batch or single-row) per inference backend.", obs.TypeCounter,
+		func(emit func(v float64, labels ...string)) {
+			for _, k := range obs.KernelSnapshot() {
+				emit(float64(k.Batches), "kernel", k.Name)
+			}
+		})
+	m.reg.Collect("surf_kernel_nanoseconds_total", "Wall nanoseconds spent inside inference kernels, per backend.", obs.TypeCounter,
+		func(emit func(v float64, labels ...string)) {
+			for _, k := range obs.KernelSnapshot() {
+				emit(float64(k.Nanos), "kernel", k.Name)
+			}
+		})
 }
 
 func (m *serverMetrics) newRoute(pattern string) *routeMetrics {
@@ -147,6 +179,14 @@ func (m *serverMetrics) collectRegistry(reg *registry.Registry) {
 		func(emit func(v float64, labels ...string)) {
 			for _, st := range reg.List() {
 				emit(float64(st.Cache.Misses), "dataset", st.Name)
+			}
+		})
+	m.reg.Collect("surf_kernel_active", "Inference backend serving each dataset's surrogate (1 = active).", obs.TypeGauge,
+		func(emit func(v float64, labels ...string)) {
+			for _, st := range reg.List() {
+				if st.Info != nil && st.Info.Kernel != "" {
+					emit(1, "dataset", st.Name, "kernel", st.Info.Kernel)
+				}
 			}
 		})
 }

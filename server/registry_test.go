@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -274,6 +275,10 @@ func TestModelsCRUD(t *testing.T) {
 	}
 	if m.SurrogateInfo == nil || m.SurrogateInfo.Trees != 5 {
 		t.Fatalf("beta surrogate info: %+v", m.SurrogateInfo)
+	}
+	// The serving inference backend is part of the model's status.
+	if !slices.Contains(surf.InferenceKernels(), m.SurrogateInfo.Kernel) {
+		t.Fatalf("beta kernel %q not in %v", m.SurrogateInfo.Kernel, surf.InferenceKernels())
 	}
 
 	resp, err = http.Get(ts.URL + "/v1/models/gamma")

@@ -55,9 +55,15 @@
 // GET /metrics exposes the internal/obs registry in Prometheus text
 // format: per-route request counts by status class, latency
 // histograms and response bytes, the in-flight request gauge, SSE
-// events emitted, result-cache hit/miss counters, and per-dataset
-// registry state (lifecycle state, version, rows, in-flight handles,
-// load duration). WithAccessLogger adds one structured slog line per
+// events emitted, result-cache hit/miss counters, per-kernel
+// inference totals (surf_kernel_rows_predicted_total and friends,
+// labeled by backend) with a surf_kernel_active gauge naming the
+// backend each served surrogate runs on, and per-dataset registry
+// state (lifecycle state, version, rows, in-flight handles, load
+// duration). The /v1/models listing reports the same backend as the
+// "kernel" field of each entry's surrogate_info — the kernel actually
+// compiled for that snapshot, including a scalar fallback.
+// WithAccessLogger adds one structured slog line per
 // request. GET /healthz stays pure liveness — it answers 200 the
 // moment the process serves — while GET /readyz answers 503 until the
 // default dataset (or, with no default, every registered dataset) is
@@ -686,6 +692,11 @@ type surrogateInfoBody struct {
 	TargetColumn   string   `json:"target_column,omitempty"`
 	TrainedQueries int      `json:"trained_queries,omitempty"`
 	Trees          int      `json:"trees,omitempty"`
+	// Kernel names the inference backend serving this entry's surrogate
+	// predictions ("scalar" or "binned"). It reports the backend
+	// actually compiled in — a backend that could not represent the
+	// ensemble shows its scalar fallback here, not the requested name.
+	Kernel string `json:"kernel,omitempty"`
 }
 
 func modelBodyFor(st registry.ModelStatus) modelBody {
@@ -711,6 +722,7 @@ func modelBodyFor(st registry.ModelStatus) modelBody {
 			TargetColumn:   st.Info.TargetColumn,
 			TrainedQueries: st.Info.TrainedQueries,
 			Trees:          st.Info.Trees,
+			Kernel:         st.Info.Kernel,
 		}
 	}
 	return b

@@ -237,6 +237,40 @@ func TestFindManyEndpoint(t *testing.T) {
 			t.Fatalf("status %d", resp.StatusCode)
 		}
 	})
+
+	// Regression: prediction-shape validation lives at the public
+	// engine boundary (wrapped ErrDimMismatch), not in kernel panics —
+	// so no findmany body, however malformed, may crash a serving
+	// goroutine. A panic would tear down the connection (the client
+	// sees a transport error) or surface as a 5xx; every body here must
+	// produce an orderly 4xx envelope, and the server must keep
+	// serving afterwards.
+	t.Run("malformed bodies never panic the server", func(t *testing.T) {
+		bodies := []string{
+			`{not json`,
+			`{"queries": 3}`,
+			`{"queries": [7]}`,
+			`{"queries": [{"threshold": "high"}]}`,
+			`{"queries": [{"threshold": 1, "glowworms": -80, "iterations": -4, "max_regions": -1}]}`,
+			`{"queries": [{"threshold": 1e308, "seed": 18446744073709551615}]}`,
+		}
+		for _, b := range bodies {
+			resp, err := http.Post(ts.URL+"/v1/findmany", "application/json", strings.NewReader(b))
+			if err != nil {
+				t.Fatalf("body %q: transport error (handler panic?): %v", b, err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode >= 500 {
+				t.Fatalf("body %q: status %d", b, resp.StatusCode)
+			}
+		}
+		resp := postJSON(t, ts.URL+"/v1/findmany", map[string]any{"queries": []surf.Query{smallQuery}})
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("server unhealthy after malformed bodies: status %d", resp.StatusCode)
+		}
+	})
 }
 
 // sseEvent is one parsed server-sent event.
