@@ -71,7 +71,7 @@ func (e *Engine) SaveSurrogateContext(ctx context.Context, w io.Writer) error {
 		return err
 	}
 	sn := e.surrogate.Load()
-	if sn == nil {
+	if sn.surr == nil {
 		return ErrNoSurrogate
 	}
 	var model bytes.Buffer
@@ -137,7 +137,7 @@ func (e *Engine) LoadSurrogateContext(ctx context.Context, r io.Reader) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	e.setSnapshot(sn)
+	e.swapSnapshot(func(*snapshot) *snapshot { return sn })
 	return nil
 }
 
@@ -237,7 +237,7 @@ func (e *Engine) checkArtifactSpec(env artifactEnvelope) error {
 			ErrBadArtifact, got, want)
 	}
 	if e.spec.Stat.NeedsTarget() {
-		want := e.data.Names()[e.spec.TargetCol]
+		want := e.names[e.spec.TargetCol]
 		if env.Info.TargetColumn != want {
 			return fmt.Errorf("%w: artifact aggregates target column %q, engine aggregates %q",
 				ErrBadArtifact, env.Info.TargetColumn, want)

@@ -7,7 +7,9 @@
 //
 // -log-format json|text emits one structured access-log line per
 // request on stderr (route, dataset, status, duration, bytes,
-// request ID); the default "off" disables access logging.
+// request ID, plus data_version and drift_score when the request
+// pinned a living dataset); the default "off" disables access
+// logging.
 //
 // Usage:
 //
@@ -41,6 +43,15 @@
 //
 // with each model entry holding a registry Spec. Entries load lazily
 // on first use; -capacity and -default override the config.
+//
+// Registry entries are living datasets: POST /v1/datasets/{name}/append
+// commits new rows and hot-swaps the grown data version into the
+// serving engines without dropping in-flight queries. A spec with
+// "drift_threshold" (plus optional "drift_reservoir",
+// "retrain_queries" and "retrain_trees") monitors surrogate drift
+// after every append — the score is exposed via /v1/models and
+// /metrics, and a threshold crossing retrains the model in the
+// background and republishes it through the registry's atomic swap.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining
 // in-flight queries and streams.

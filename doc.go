@@ -195,6 +195,38 @@
 // without re-running the swarm, and the cache clears on every
 // train/load so no stale model's results are served.
 //
+// # Living data
+//
+// The paper's pipeline freezes the dataset at training time; Store
+// lifts that restriction. NewStore wraps a seed Dataset as version 1
+// of a versioned, append-capable collection: Store.Append commits a
+// batch of rows and publishes an immutable Snapshot atomically, so
+// readers pin a snapshot with one lock-free pointer load and are
+// never blocked — or torn — by concurrent appends. Engine.SetDataset
+// swaps the engine onto a new snapshot's data (keeping the trained
+// surrogate, which still answers queries — it just drifts from the
+// data), stamps the data version into SurrogateInfo.DataVersion and
+// every result-cache key, and clears cached results exactly as a
+// model swap does. Engine.ContinueTraining then extends the ensemble
+// in place against the current data, all-or-nothing.
+//
+// Mined results over a store built from a base dataset plus appended
+// batches are bit-identical to those over the equivalent flat
+// dataset — a differential test and the FuzzAppendParity fuzz target
+// hold the store to that contract.
+//
+// The registry automates the loop: entries created from a Spec with
+// DriftThreshold carry a reservoir of sampled training queries, and
+// Registry.Append (exposed as POST /v1/datasets/{name}/append)
+// commits rows, re-points every shard at the new version, replays
+// the reservoir against the true evaluator to score drift, and —
+// past the threshold — kicks a cancellable background retrain that
+// republishes through the same atomic hot swap, never dropping an
+// in-flight query. ModelStatus, /v1/models and the
+// surf_dataset_data_version / surf_dataset_drift_score /
+// surf_dataset_retraining / surf_dataset_retrains_total metric
+// families report the living state.
+//
 // # Machine-checked invariants
 //
 // The concurrency and determinism rules above are enforced by a

@@ -1,0 +1,160 @@
+// Package drift measures how far a trained surrogate has fallen
+// behind a living dataset. The idea follows the paper's own
+// verification step: the true statistic f is always available (at
+// O(N) cost), so a small reservoir of previously evaluated training
+// queries can be replayed against the latest data version and
+// compared with what the surrogate still predicts. The normalized
+// residual is a live error signal — SurroFlow's argument that
+// surrogate serving needs a client-visible error estimate — and
+// crossing a threshold is the trigger for background retraining,
+// spending training effort exactly where fresh rows have moved f
+// (Turaco's "sample where the function is hardest to learn").
+//
+// The package is deliberately tiny and engine-agnostic: anything that
+// can evaluate the true statistic and predict with a surrogate can be
+// monitored. It holds no locks and spawns no goroutines; callers
+// decide when to replay and what to do with the score.
+package drift
+
+import (
+	"context"
+	"math"
+	"math/rand/v2"
+)
+
+// Engine is the slice of a serving engine a drift check needs:
+// the true statistic over the latest data and the current surrogate's
+// prediction. surf.Engine satisfies it.
+type Engine interface {
+	// Evaluate computes the true statistic over [center ± halfSides]
+	// against the latest data version, plus the row count inside.
+	Evaluate(center, halfSides []float64) (value float64, count int)
+	// PredictStatistic returns the surrogate's estimate for the same
+	// region (an error when no surrogate is trained).
+	PredictStatistic(center, halfSides []float64) (float64, error)
+}
+
+// Sample is one replayable region query: the region a past workload
+// evaluated. The original label is deliberately not kept — replays
+// re-evaluate the truth against the data as it is now, which is the
+// whole point.
+type Sample struct {
+	Center    []float64
+	HalfSides []float64
+}
+
+// Reservoir keeps a bounded, uniformly representative sample of the
+// queries offered to it (Vitter's algorithm R), so a monitor can
+// replay a fixed-cost probe set no matter how large the training
+// workload was. Seeded, hence deterministic: the same offers in the
+// same order select the same reservoir. Not safe for concurrent use;
+// fill it once at training time and treat the result as immutable.
+type Reservoir struct {
+	cap     int
+	offered int
+	samples []Sample
+	rng     *rand.Rand
+}
+
+// NewReservoir returns an empty reservoir keeping at most capacity
+// samples (capacity < 1 keeps one).
+func NewReservoir(capacity int, seed uint64) *Reservoir {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Reservoir{
+		cap: capacity,
+		rng: rand.New(rand.NewPCG(seed, 0xd21f7)),
+	}
+}
+
+// Add offers one region to the reservoir. The slices are copied, so
+// callers may reuse their buffers.
+func (r *Reservoir) Add(center, halfSides []float64) {
+	s := Sample{
+		Center:    append([]float64(nil), center...),
+		HalfSides: append([]float64(nil), halfSides...),
+	}
+	r.offered++
+	if len(r.samples) < r.cap {
+		r.samples = append(r.samples, s)
+		return
+	}
+	if j := r.rng.IntN(r.offered); j < r.cap {
+		r.samples[j] = s
+	}
+}
+
+// Len returns the number of samples currently held.
+func (r *Reservoir) Len() int { return len(r.samples) }
+
+// Samples returns the reservoir's current contents. The slice aliases
+// the reservoir; do not Add concurrently with using it.
+func (r *Reservoir) Samples() []Sample { return r.samples }
+
+// Report is the outcome of one drift evaluation.
+type Report struct {
+	// Score is the normalized surrogate residual: the RMSE of
+	// (prediction − truth) over the defined samples, divided by the
+	// spread (standard deviation, falling back to mean magnitude) of
+	// the current true values. Roughly: 0 = the surrogate still
+	// matches the data, 1 = its error is as large as the signal.
+	Score float64
+	// Samples is how many samples were replayed; Defined how many had
+	// a defined true value on the current data (undefined regions —
+	// NaN statistics over now-empty boxes — are excluded from Score).
+	Samples int
+	Defined int
+}
+
+// Evaluate replays the samples against eng: the true statistic on the
+// latest data version versus the surrogate's prediction. It returns
+// the normalized residual score (see Report.Score). With no samples,
+// or none defined, the score is 0 — no evidence of drift is not
+// drift. The context is checked between samples; each sample costs
+// one true-function evaluation, so a replay over a k-sample reservoir
+// is k data scans.
+func Evaluate(ctx context.Context, eng Engine, samples []Sample) (Report, error) {
+	rep := Report{Samples: len(samples)}
+	var sumSq, sumY, sumYSq, sumAbs float64
+	for _, s := range samples {
+		if err := ctx.Err(); err != nil {
+			return Report{}, err
+		}
+		truth, _ := eng.Evaluate(s.Center, s.HalfSides)
+		if math.IsNaN(truth) {
+			continue
+		}
+		pred, err := eng.PredictStatistic(s.Center, s.HalfSides)
+		if err != nil {
+			return Report{}, err
+		}
+		rep.Defined++
+		d := pred - truth
+		sumSq += d * d
+		sumY += truth
+		sumYSq += truth * truth
+		sumAbs += math.Abs(truth)
+	}
+	if rep.Defined == 0 {
+		return rep, nil
+	}
+	n := float64(rep.Defined)
+	rmse := math.Sqrt(sumSq / n)
+	variance := sumYSq/n - (sumY/n)*(sumY/n)
+	scale := 0.0
+	if variance > 0 {
+		scale = math.Sqrt(variance)
+	}
+	if scale <= 1e-12 {
+		scale = sumAbs / n
+	}
+	if scale <= 1e-12 {
+		// A constant-zero truth: any nonzero residual is infinite
+		// relative error; report the raw RMSE instead.
+		rep.Score = rmse
+		return rep, nil
+	}
+	rep.Score = rmse / scale
+	return rep, nil
+}

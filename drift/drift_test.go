@@ -1,0 +1,150 @@
+package drift
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// fakeEngine answers Evaluate with truth(center) and PredictStatistic
+// with pred(center).
+type fakeEngine struct {
+	truth func(c []float64) float64
+	pred  func(c []float64) float64
+}
+
+func (f fakeEngine) Evaluate(c, h []float64) (float64, int) {
+	v := f.truth(c)
+	if math.IsNaN(v) {
+		return v, 0
+	}
+	return v, 1
+}
+
+func (f fakeEngine) PredictStatistic(c, h []float64) (float64, error) {
+	return f.pred(c), nil
+}
+
+func samplesOn(xs ...float64) []Sample {
+	out := make([]Sample, len(xs))
+	for i, x := range xs {
+		out[i] = Sample{Center: []float64{x}, HalfSides: []float64{0.1}}
+	}
+	return out
+}
+
+func TestEvaluateNoDrift(t *testing.T) {
+	eng := fakeEngine{
+		truth: func(c []float64) float64 { return 3 * c[0] },
+		pred:  func(c []float64) float64 { return 3 * c[0] },
+	}
+	rep, err := Evaluate(context.Background(), eng, samplesOn(1, 2, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Score != 0 || rep.Defined != 4 || rep.Samples != 4 {
+		t.Fatalf("perfect surrogate: %+v", rep)
+	}
+}
+
+func TestEvaluateDriftScales(t *testing.T) {
+	// The truth moved by a constant offset the surrogate missed: the
+	// residual RMSE is the offset, the truth spread is the stddev of
+	// {3,6,9,12} — score = offset/stddev.
+	const offset = 5.0
+	eng := fakeEngine{
+		truth: func(c []float64) float64 { return 3*c[0] + offset },
+		pred:  func(c []float64) float64 { return 3 * c[0] },
+	}
+	rep, err := Evaluate(context.Background(), eng, samplesOn(1, 2, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := (8.0 + 11 + 14 + 17) / 4
+	varSum := 0.0
+	for _, y := range []float64{8, 11, 14, 17} {
+		varSum += (y - mean) * (y - mean)
+	}
+	want := offset / math.Sqrt(varSum/4)
+	if math.Abs(rep.Score-want) > 1e-12 {
+		t.Fatalf("score %v, want %v", rep.Score, want)
+	}
+}
+
+func TestEvaluateSkipsUndefined(t *testing.T) {
+	eng := fakeEngine{
+		truth: func(c []float64) float64 {
+			if c[0] < 0 {
+				return math.NaN()
+			}
+			return c[0]
+		},
+		pred: func(c []float64) float64 { return c[0] },
+	}
+	rep, err := Evaluate(context.Background(), eng, samplesOn(-1, 1, 2, -2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Defined != 2 || rep.Samples != 4 || rep.Score != 0 {
+		t.Fatalf("undefined handling: %+v", rep)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	rep, err := Evaluate(context.Background(), fakeEngine{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Score != 0 || rep.Samples != 0 {
+		t.Fatalf("empty replay: %+v", rep)
+	}
+}
+
+func TestEvaluateCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := fakeEngine{
+		truth: func(c []float64) float64 { return 0 },
+		pred:  func(c []float64) float64 { return 0 },
+	}
+	if _, err := Evaluate(ctx, eng, samplesOn(1)); err == nil {
+		t.Fatal("cancelled replay returned nil error")
+	}
+}
+
+func TestReservoirDeterministicAndBounded(t *testing.T) {
+	fill := func() *Reservoir {
+		r := NewReservoir(8, 42)
+		for i := 0; i < 1000; i++ {
+			r.Add([]float64{float64(i)}, []float64{1})
+		}
+		return r
+	}
+	a, b := fill(), fill()
+	if a.Len() != 8 {
+		t.Fatalf("reservoir holds %d, want 8", a.Len())
+	}
+	for i := range a.Samples() {
+		if a.Samples()[i].Center[0] != b.Samples()[i].Center[0] {
+			t.Fatalf("same seed, different reservoirs at %d", i)
+		}
+	}
+	// Under capacity: everything is kept verbatim.
+	small := NewReservoir(8, 1)
+	for i := 0; i < 5; i++ {
+		small.Add([]float64{float64(i)}, []float64{1})
+	}
+	if small.Len() != 5 || small.Samples()[4].Center[0] != 4 {
+		t.Fatalf("under-capacity reservoir: %+v", small.Samples())
+	}
+}
+
+func TestReservoirCopiesInputs(t *testing.T) {
+	r := NewReservoir(4, 7)
+	buf := []float64{1}
+	r.Add(buf, buf)
+	buf[0] = 99
+	if got := r.Samples()[0].Center[0]; got != 1 {
+		t.Fatalf("reservoir aliased caller buffer: %v", got)
+	}
+}

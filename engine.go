@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"surf/internal/core"
@@ -128,26 +129,54 @@ func (e backendEvaluator) Dims() int          { return e.dims }
 // with it, which Find, FindTopK and PredictStatisticBatch use to
 // evaluate whole probe batches per model pass.
 type Engine struct {
-	data      *dataset.Dataset
-	spec      dataset.Spec
-	evaluator dataset.Evaluator
-	domain    geom.Rect
-	observer  func(Event)
-	kernel    kernel.Backend
+	spec     dataset.Spec
+	names    []string // column names, the fixed schema across data versions
+	observer func(Event)
+	kernel   kernel.Backend
+	// useGrid and backend remember how Open built the evaluator so
+	// SetDataset can rebuild it the same way for a new data version;
+	// domainFixed records a WithDomain override, which data swaps
+	// preserve instead of re-deriving the domain from the rows.
+	useGrid     bool
+	backend     Backend
+	domainFixed bool
+	// surrogate holds the engine's current snapshot — always non-nil:
+	// Open publishes a model-free snapshot carrying the v1 data view,
+	// and every later swap (train, load, SetDataset) replaces it whole.
 	surrogate atomic.Pointer[snapshot]
 	snapGen   atomic.Uint64
-	cache     *resultCache
+	// snapMu serializes snapshot writers (train, load, SetDataset) so
+	// a data swap can never lose a concurrent model swap or vice
+	// versa. The read path never touches it: queries pin the snapshot
+	// with one atomic load.
+	snapMu sync.Mutex
+	cache  *resultCache
 }
 
-// snapshot pairs a surrogate with the metadata describing how it was
-// produced and a generation number unique within its engine. The
-// engine swaps whole snapshots atomically, so a query (or Session)
-// pinning one sees a model and its provenance that can never
-// disagree; result-cache keys embed the generation, which — unlike a
-// pointer — can never be reused after the snapshot is garbage
-// collected.
+// dataView pins one immutable dataset version together with the
+// evaluator and domain derived from it. Views ride inside snapshots,
+// so every query reads its statistic from exactly the data version
+// the snapshot was published with — a concurrent append (SetDataset)
+// swaps in a new view without disturbing in-flight readers.
+type dataView struct {
+	data      *dataset.Dataset
+	evaluator dataset.Evaluator
+	domain    geom.Rect
+	version   uint64
+}
+
+// snapshot pairs a surrogate (possibly nil before any training) with
+// the pinned data view it serves over, the metadata describing how
+// the model was produced, and a generation number unique within its
+// engine. The engine swaps whole snapshots atomically, so a query (or
+// Session) pinning one sees a model, a data version and provenance
+// that can never disagree; result-cache keys embed the generation,
+// which — unlike a pointer — can never be reused after the snapshot
+// is garbage collected, and which bumps on data swaps exactly as on
+// model swaps, invalidating cached results either way.
 type snapshot struct {
 	surr *core.Surrogate
+	view *dataView
 	info SurrogateInfo
 	gen  uint64
 }
@@ -170,21 +199,35 @@ func (sn *snapshot) generation() uint64 {
 	return sn.gen
 }
 
-// setSnapshot recompiles the surrogate for the engine's inference
+// swapSnapshot is the single snapshot-replacement path (train, CV
+// train, artifact and legacy loads, SetDataset). Under the writer
+// mutex it reads the current snapshot, lets mut derive the next one
+// from it, inherits the current data view when mut supplies none (a
+// model swap keeps serving the data it trained against until the next
+// data swap), recompiles the surrogate for the engine's inference
 // backend (a no-op when it already serves through it), stamps the
 // provenance with the backend actually serving — the scalar fallback
-// when the configured backend cannot represent the ensemble — and a
-// fresh generation, and atomically swaps the snapshot in. Every swap
-// path (train, CV train, artifact and legacy loads) funnels through
-// here, so the kernel carried on a snapshot can never disagree with
-// the model answering its queries. The cache is cleared first —
-// entries under older generations could never be served anyway (keys
-// embed the generation), clearing just stops them crowding out live
-// entries — so no moment exists where the new snapshot is visible
-// alongside results that predate it.
-func (e *Engine) setSnapshot(sn *snapshot) {
-	sn.surr = sn.surr.Recompiled(e.kernel)
-	sn.info.Kernel = sn.surr.Kernel().Name()
+// when the configured backend cannot represent the ensemble — and the
+// view's data version, assigns a fresh generation, and atomically
+// swaps the snapshot in. The cache is cleared first — entries under
+// older generations could never be served anyway (keys embed the
+// generation), clearing just stops them crowding out live entries —
+// so no moment exists where the new snapshot is visible alongside
+// results that predate it, whether the swap changed the model, the
+// data, or both.
+func (e *Engine) swapSnapshot(mut func(cur *snapshot) *snapshot) {
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	cur := e.surrogate.Load()
+	sn := mut(cur)
+	if sn.view == nil {
+		sn.view = cur.view
+	}
+	if sn.surr != nil {
+		sn.surr = sn.surr.Recompiled(e.kernel)
+		sn.info.Kernel = sn.surr.Kernel().Name()
+		sn.info.DataVersion = sn.view.version
+	}
 	sn.gen = e.snapGen.Add(1)
 	e.cache.clear()
 	e.surrogate.Store(sn)
@@ -276,15 +319,24 @@ func Open(ds *Dataset, cfg Config, opts ...Option) (*Engine, error) {
 	if eo.cacheSet {
 		cacheSize = eo.cacheSize
 	}
-	return &Engine{
-		data:      ds.inner,
-		spec:      spec,
-		evaluator: ev,
-		domain:    domain,
-		observer:  eo.observer,
-		kernel:    kb,
-		cache:     newResultCache(cacheSize),
-	}, nil
+	e := &Engine{
+		spec:        spec,
+		names:       ds.inner.Names(),
+		observer:    eo.observer,
+		kernel:      kb,
+		useGrid:     cfg.UseGridIndex,
+		backend:     eo.backend,
+		domainFixed: eo.domainSet,
+		cache:       newResultCache(cacheSize),
+	}
+	// The initial snapshot carries the v1 data view and no surrogate;
+	// nobody can observe the engine before Open returns, so the plain
+	// Store (generation 0 = the pre-model state) needs no swap
+	// ceremony.
+	e.surrogate.Store(&snapshot{
+		view: &dataView{data: ds.inner, evaluator: ev, domain: domain, version: 1},
+	})
+	return e, nil
 }
 
 // resolveKernel maps the WithInferenceKernel option to an inference
@@ -310,17 +362,33 @@ func resolveKernel(name string) (kernel.Backend, error) {
 // Dims returns the region dimensionality d.
 func (e *Engine) Dims() int { return len(e.spec.FilterCols) }
 
+// view returns the engine's current data view (always non-nil).
+func (e *Engine) view() *dataView { return e.surrogate.Load().view }
+
 // Domain returns the data-space bounding box of the filter columns as
-// (min, max) slices.
+// (min, max) slices, as of the engine's current data version.
 func (e *Engine) Domain() (min, max []float64) {
-	return append([]float64(nil), e.domain.Min...), append([]float64(nil), e.domain.Max...)
+	v := e.view()
+	return append([]float64(nil), v.domain.Min...), append([]float64(nil), v.domain.Max...)
 }
 
+// Rows returns the number of data rows in the engine's current data
+// version (0 for WithBackend engines whose dataset is only a schema).
+func (e *Engine) Rows() int { return e.view().data.Len() }
+
+// DataVersion returns the version of the dataset the engine currently
+// serves: 1 for the dataset Open received, incremented by every
+// SetDataset swap. Queries in flight during a swap finish against the
+// version they pinned.
+func (e *Engine) DataVersion() uint64 { return e.view().version }
+
 // Evaluate computes the true statistic over the region [center ±
-// halfSides] plus the number of rows inside. This is the expensive
-// back-end call the surrogate replaces.
+// halfSides] plus the number of rows inside, against the engine's
+// current data version. This is the expensive back-end call the
+// surrogate replaces — and the reference a drift monitor replays
+// sampled queries against after appends.
 func (e *Engine) Evaluate(center, halfSides []float64) (value float64, count int) {
-	return e.evaluator.Evaluate(geom.FromCenter(center, halfSides))
+	return e.view().evaluator.Evaluate(geom.FromCenter(center, halfSides))
 }
 
 // TrainSurrogate fits the engine's surrogate model f̂ on a workload
@@ -362,7 +430,9 @@ func (e *Engine) TrainSurrogateContext(ctx context.Context, w Workload, opts ...
 		return err
 	}
 	info := e.surrogateInfoFor(s, w.Len(), o.HyperTune)
-	e.setSnapshot(&snapshot{surr: s, info: info})
+	e.swapSnapshot(func(*snapshot) *snapshot {
+		return &snapshot{surr: s, info: info}
+	})
 	return nil
 }
 
@@ -371,11 +441,12 @@ func (e *Engine) TrainSurrogateContext(ctx context.Context, w Workload, opts ...
 // model's effective hyper-parameters.
 func (e *Engine) surrogateInfoFor(s *core.Surrogate, queries int, hyperTuned bool) SurrogateInfo {
 	p := s.Model().Params()
+	domain := e.view().domain
 	info := SurrogateInfo{
 		Statistic:      e.spec.Stat.String(),
 		FilterColumns:  e.filterNames(),
-		DomainMin:      append([]float64(nil), e.domain.Min...),
-		DomainMax:      append([]float64(nil), e.domain.Max...),
+		DomainMin:      append([]float64(nil), domain.Min...),
+		DomainMax:      append([]float64(nil), domain.Max...),
 		TrainedQueries: queries,
 		Trees:          s.Model().NumTrees(),
 		MaxDepth:       p.MaxDepth,
@@ -384,7 +455,7 @@ func (e *Engine) surrogateInfoFor(s *core.Surrogate, queries int, hyperTuned boo
 		HyperTuned:     hyperTuned,
 	}
 	if e.spec.Stat.NeedsTarget() {
-		info.TargetColumn = e.data.Names()[e.spec.TargetCol]
+		info.TargetColumn = e.names[e.spec.TargetCol]
 	}
 	return info
 }
@@ -392,16 +463,15 @@ func (e *Engine) surrogateInfoFor(s *core.Surrogate, queries int, hyperTuned boo
 // filterNames returns the engine's filter columns by name, in region-
 // dimension order.
 func (e *Engine) filterNames() []string {
-	names := e.data.Names()
 	out := make([]string, len(e.spec.FilterCols))
 	for j, c := range e.spec.FilterCols {
-		out[j] = names[c]
+		out[j] = e.names[c]
 	}
 	return out
 }
 
 // HasSurrogate reports whether a surrogate has been trained or loaded.
-func (e *Engine) HasSurrogate() bool { return e.surrogate.Load() != nil }
+func (e *Engine) HasSurrogate() bool { return e.surrogate.Load().surr != nil }
 
 // SurrogateInfo describes a surrogate snapshot: the spec it was
 // trained for (statistic, filter columns, target), the domain it was
@@ -436,6 +506,12 @@ type SurrogateInfo struct {
 	// engine's backend, and a backend that cannot represent the
 	// ensemble reports the scalar fallback actually serving it.
 	Kernel string
+	// DataVersion is the version of the dataset this snapshot serves
+	// over (1 = the dataset the engine opened with; each SetDataset
+	// swap increments it). Like Kernel it is a serving-side property,
+	// not part of the trained weights: artifacts restore with the
+	// loading engine's current data version.
+	DataVersion uint64
 }
 
 // CacheStats reports the result cache's lifetime hit/miss counters
@@ -451,7 +527,7 @@ func (e *Engine) CacheStats() CacheStats {
 // surrogate snapshot; ok is false when none is trained or loaded.
 func (e *Engine) SurrogateInfo() (info SurrogateInfo, ok bool) {
 	sn := e.surrogate.Load()
-	if sn == nil {
+	if sn.surr == nil {
 		return SurrogateInfo{}, false
 	}
 	return sn.info, true
@@ -517,20 +593,21 @@ type Session struct {
 	snap *snapshot
 }
 
-// Session snapshots the engine's current surrogate (which may be nil
-// when none is trained yet).
+// Session snapshots the engine's current state: the surrogate (which
+// may be absent when none is trained yet) together with the data view
+// it serves over.
 func (e *Engine) Session() *Session {
 	return &Session{eng: e, snap: e.surrogate.Load()}
 }
 
 // HasSurrogate reports whether the session's snapshot holds a model.
-func (s *Session) HasSurrogate() bool { return s.snap != nil }
+func (s *Session) HasSurrogate() bool { return s.snap.surr != nil }
 
 // SurrogateInfo returns the provenance of the session's pinned
 // snapshot; ok is false when the session was created with no
 // surrogate.
 func (s *Session) SurrogateInfo() (info SurrogateInfo, ok bool) {
-	if s.snap == nil {
+	if s.snap.surr == nil {
 		return SurrogateInfo{}, false
 	}
 	return s.snap.info, true
@@ -539,7 +616,7 @@ func (s *Session) SurrogateInfo() (info SurrogateInfo, ok bool) {
 // PredictStatistic returns the snapshot surrogate's estimate for a
 // region.
 func (s *Session) PredictStatistic(center, halfSides []float64) (float64, error) {
-	if s.snap == nil {
+	if s.snap.surr == nil {
 		return 0, ErrNoSurrogate
 	}
 	return s.snap.surr.Predict(center, halfSides), nil
@@ -548,7 +625,7 @@ func (s *Session) PredictStatistic(center, halfSides []float64) (float64, error)
 // PredictStatisticBatch is Engine.PredictStatisticBatch against the
 // session's pinned surrogate snapshot.
 func (s *Session) PredictStatisticBatch(rows [][]float64, out []float64) error {
-	if s.snap == nil {
+	if s.snap.surr == nil {
 		return ErrNoSurrogate
 	}
 	return predictBatch(s.snap.surr, s.eng.Dims(), rows, out)

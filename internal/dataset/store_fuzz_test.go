@@ -1,0 +1,110 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"surf/internal/geom"
+	"surf/internal/stats"
+)
+
+// FuzzAppendParity is the differential net for the living-data path:
+// a Store built as (base rows + N appended batches) must be
+// indistinguishable from a Dataset constructed flat from the same
+// rows. Every statistic over every region must agree between the
+// final snapshot and the flat rebuild (LinearScan and GridIndex
+// alike), the domain must match bit-for-bit, and a snapshot pinned
+// before the appends must keep answering exactly as the base prefix
+// does — the immutability appends are never allowed to break.
+//
+// Run as a smoke step in CI (-fuzztime=10s) and as a plain seed
+// regression test otherwise.
+func FuzzAppendParity(f *testing.F) {
+	// All statistics across a mid-domain region, with several batch
+	// shapes: single batch, many small batches, no batches at all.
+	f.Add(uint64(1), uint16(40), uint8(3), uint8(5), uint8(0), 0.05, 0.65, -2.0, 3.0)
+	f.Add(uint64(9), uint16(77), uint8(1), uint8(12), uint8(2), 0.05, math.Nextafter(0.7, math.Inf(-1)), -2.0, 3.0)
+	f.Add(uint64(5), uint16(120), uint8(4), uint8(1), uint8(5), 0.1, 0.7, -1.3, 2.9)
+	f.Add(uint64(7), uint16(30), uint8(0), uint8(9), uint8(8), 0.7, 0.7, -1.3, 2.9)
+	// Single-row base: the store starts nearly empty and grows.
+	f.Add(uint64(3), uint16(1), uint8(4), uint8(15), uint8(4), 0.1, 0.1, -1.3, -1.3)
+
+	kinds := []stats.Kind{
+		stats.Count, stats.Sum, stats.Mean, stats.Min, stats.Max,
+		stats.Median, stats.Variance, stats.StdDev, stats.Ratio,
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, batches, batchSize, statPick uint8, x0, x1, y0, y1 float64) {
+		base := 1 + int(n%200)
+		nb := int(batches % 5)
+		bs := 1 + int(batchSize%16)
+		total := base + nb*bs
+		flat := fuzzParityDataset(seed, total)
+
+		seedDS, err := flat.Slice(0, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := NewStore(seedDS)
+		pinned := st.Snapshot()
+		row := base
+		for b := 0; b < nb; b++ {
+			batch := make([][]float64, bs)
+			for i := range batch {
+				batch[i] = flat.Row(row)
+				row++
+			}
+			if _, err := st.Append(batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap := st.Snapshot()
+		if snap.Rows() != total || snap.Version() != uint64(1+nb) {
+			t.Fatalf("final snapshot rows %d version %d, want %d and %d", snap.Rows(), snap.Version(), total, 1+nb)
+		}
+
+		spec := Spec{FilterCols: []int{0, 1}, Stat: kinds[int(statPick)%len(kinds)], TargetCol: 2}
+		region := geom.Rect{
+			Min: []float64{fuzzBound(x0, -10), fuzzBound(y0, -10)},
+			Max: []float64{fuzzBound(x1, 10), fuzzBound(y1, 10)},
+		}.Canonical()
+
+		lsFlat, err := NewLinearScan(flat, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsSnap, err := NewLinearScan(snap.Data(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gSnap, err := NewGridIndex(snap.Data(), spec, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameEval(t, lsFlat, lsSnap, region)
+		assertSameEval(t, lsFlat, gSnap, region)
+
+		flatDomain := flat.Domain(spec.FilterCols)
+		snapDomain := snap.Data().Domain(spec.FilterCols)
+		for j := range flatDomain.Min {
+			if flatDomain.Min[j] != snapDomain.Min[j] || flatDomain.Max[j] != snapDomain.Max[j] {
+				t.Fatalf("domain mismatch on dim %d: flat [%v,%v], snapshot [%v,%v]",
+					j, flatDomain.Min[j], flatDomain.Max[j], snapDomain.Min[j], snapDomain.Max[j])
+			}
+		}
+
+		// The pre-append pin must still answer exactly as the base
+		// prefix, whatever got appended after it.
+		if pinned.Rows() != base || pinned.Version() != 1 {
+			t.Fatalf("pinned snapshot rows %d version %d, want %d and 1", pinned.Rows(), pinned.Version(), base)
+		}
+		lsBase, err := NewLinearScan(seedDS, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsPinned, err := NewLinearScan(pinned.Data(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameEval(t, lsBase, lsPinned, region)
+	})
+}

@@ -1,0 +1,149 @@
+package dataset
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"surf/internal/stats"
+)
+
+// TestStoreVersioning pins the version contract: the seed is v1, every
+// committed batch bumps the version and row count, and a failed append
+// changes nothing.
+func TestStoreVersioning(t *testing.T) {
+	st := NewStore(MustNew([]string{"x", "y"}, [][]float64{{1, 2}, {3, 4}}))
+	v1 := st.Snapshot()
+	if v1.Version() != 1 || v1.Rows() != 2 || v1.Segments() != 0 {
+		t.Fatalf("seed snapshot: version %d rows %d segments %d", v1.Version(), v1.Rows(), v1.Segments())
+	}
+	v2, err := st.Append([][]float64{{5, 6}, {7, 8}, {9, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Version() != 2 || v2.Rows() != 5 || v2.Segments() != 1 {
+		t.Fatalf("after append: version %d rows %d segments %d", v2.Version(), v2.Rows(), v2.Segments())
+	}
+	if got := st.Snapshot(); got != v2 {
+		t.Fatalf("Snapshot() did not return the newly published version")
+	}
+	if v2.Data().Col(0)[3] != 7 || v2.Data().Col(1)[4] != 10 {
+		t.Fatalf("appended values not visible in new snapshot: %v %v", v2.Data().Col(0), v2.Data().Col(1))
+	}
+
+	if _, err := st.Append(nil); !errors.Is(err, ErrEmptyAppend) {
+		t.Fatalf("empty append: err = %v, want ErrEmptyAppend", err)
+	}
+	if _, err := st.Append([][]float64{{1}}); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if got := st.Snapshot(); got != v2 {
+		t.Fatal("failed append changed the published snapshot")
+	}
+}
+
+// TestStorePinnedSnapshotImmutable proves the lock-free read contract:
+// a snapshot pinned before appends sees the same rows afterwards, and
+// its column views are capacity-clamped so no append can ever write
+// into memory the snapshot exposes.
+func TestStorePinnedSnapshotImmutable(t *testing.T) {
+	// Seed columns with spare capacity, as a CSV reader might produce.
+	x := append(make([]float64, 0, 32), 1, 2, 3)
+	y := append(make([]float64, 0, 32), 4, 5, 6)
+	seed := MustNew([]string{"x", "y"}, [][]float64{x, y})
+	st := NewStore(seed)
+	v1 := st.Snapshot()
+	for c := 0; c < 2; c++ {
+		col := v1.Data().Col(c)
+		if cap(col) != len(col) {
+			t.Fatalf("column %d view capacity %d exceeds length %d", c, cap(col), len(col))
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := st.Append([][]float64{{100 + float64(i), 200 + float64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v1.Rows() != 3 {
+		t.Fatalf("pinned snapshot grew to %d rows", v1.Rows())
+	}
+	if got := v1.Data().Col(0); got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("pinned snapshot column mutated: %v", got)
+	}
+	// The seed's own backing array (with its spare capacity) must also
+	// be untouched: the store may never scribble into caller memory.
+	if x[:3:3][0] != 1 || x[:cap(x)][3] != 0 {
+		t.Fatalf("append wrote into the caller's seed column: %v", x[:cap(x)])
+	}
+	if got := st.Snapshot(); got.Version() != 11 || got.Rows() != 13 {
+		t.Fatalf("after 10 appends: version %d rows %d", got.Version(), got.Rows())
+	}
+}
+
+// TestStoreConcurrentReaders hammers the lock-free read path under the
+// race detector: readers continuously pin snapshots and scan them in
+// full while a writer appends batches. Row i carries the value i in
+// both columns, so any torn or stale view is caught by a direct value
+// check, and LinearScan over the full domain must count exactly the
+// snapshot's rows.
+func TestStoreConcurrentReaders(t *testing.T) {
+	st := NewStore(MustNew([]string{"x", "v"}, [][]float64{{0}, {0}}))
+	const (
+		readers = 4
+		batches = 60
+		perB    = 7
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := st.Snapshot()
+				d := snap.Data()
+				if d.Len() != snap.Rows() {
+					t.Errorf("snapshot rows %d but dataset length %d", snap.Rows(), d.Len())
+					return
+				}
+				xs, vs := d.Col(0), d.Col(1)
+				for i := range xs {
+					if xs[i] != float64(i) || vs[i] != float64(i) {
+						t.Errorf("torn read at row %d of v%d: x=%v v=%v", i, snap.Version(), xs[i], vs[i])
+						return
+					}
+				}
+				ls, err := NewLinearScan(d, Spec{FilterCols: []int{0}, Stat: stats.Count})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, count := ls.Evaluate(d.Domain([]int{0})); count != d.Len() {
+					t.Errorf("full-domain count %d over %d rows", count, d.Len())
+					return
+				}
+			}
+		}()
+	}
+	next := 1
+	for b := 0; b < batches; b++ {
+		batch := make([][]float64, perB)
+		for i := range batch {
+			batch[i] = []float64{float64(next), float64(next)}
+			next++
+		}
+		if _, err := st.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if snap := st.Snapshot(); snap.Rows() != 1+batches*perB {
+		t.Fatalf("final rows %d, want %d", snap.Rows(), 1+batches*perB)
+	}
+}

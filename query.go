@@ -52,15 +52,27 @@ func (e *Engine) GenerateWorkload(n int, seed uint64) (Workload, error) {
 }
 
 // GenerateWorkloadContext is GenerateWorkload with cancellation,
-// checked before each true-function evaluation.
+// checked before each true-function evaluation. The whole workload is
+// generated against one pinned data view, so a concurrent SetDataset
+// cannot mix data versions within a single training set.
 func (e *Engine) GenerateWorkloadContext(ctx context.Context, n int, seed uint64) (Workload, error) {
+	v := e.view()
 	cfg := synth.DefaultWorkloadConfig(n)
 	cfg.Seed = seed
-	log, err := synth.GenerateWorkloadContext(ctx, e.evaluator, e.domain, cfg)
+	log, err := synth.GenerateWorkloadContext(ctx, v.evaluator, v.domain, cfg)
 	if err != nil {
 		return Workload{}, err
 	}
 	return Workload{log: log}, nil
+}
+
+// Query returns the i-th logged evaluation as (center, halfSides,
+// value) — the region the workload executed and the true statistic it
+// observed. Drift monitors replay these against the latest data
+// version to measure how far a trained surrogate has fallen behind.
+func (w Workload) Query(i int) (center, halfSides []float64, y float64) {
+	q := w.log[i]
+	return append([]float64(nil), q.X...), append([]float64(nil), q.L...), q.Y
 }
 
 // Query is one mining request.
@@ -215,19 +227,23 @@ func gsoParams(dims, glowworms, iterations, workers int, seed uint64) gso.Params
 	return g
 }
 
-// finderFor builds the finder a query optimizes over: against the true
-// evaluator when requested, else against the given surrogate snapshot
-// with its compiled batch predictor attached so swarm iterations run
-// one model pass per particle shard.
-func finderFor(e *Engine, snap *snapshot, useTrue bool) (*core.Finder, core.StatFn, error) {
+// finderFor builds the finder a query optimizes over: against the
+// snapshot's pinned true evaluator when requested, else against the
+// snapshot's surrogate with its compiled batch predictor attached so
+// swarm iterations run one model pass per particle shard. Both paths
+// read the snapshot's own data view, so a query started before a
+// SetDataset swap runs — and verifies — entirely against the data
+// version it pinned.
+func finderFor(snap *snapshot, useTrue bool) (*core.Finder, core.StatFn, error) {
 	surr := snap.surrogate()
+	v := snap.view
 	switch {
 	case useTrue:
-		stat := core.StatFnFromEvaluator(e.evaluator)
-		f, err := core.NewFinder(stat, e.domain)
+		stat := core.StatFnFromEvaluator(v.evaluator)
+		f, err := core.NewFinder(stat, v.domain)
 		return f, stat, err
 	case surr != nil:
-		f, err := core.NewSurrogateFinder(surr, e.domain)
+		f, err := core.NewSurrogateFinder(surr, v.domain)
 		return f, surr.StatFn(), err
 	default:
 		return nil, nil, ErrNoSurrogate
@@ -340,20 +356,22 @@ func startStream(ctx context.Context, e *Engine, snap *snapshot, q Query, events
 	if err := q.validate(); err != nil {
 		return nil, err
 	}
-	finder, statFn, err := finderFor(e, snap, q.UseTrueFunction)
+	finder, statFn, err := finderFor(snap, q.UseTrueFunction)
 	if err != nil {
 		return nil, err
 	}
+	view := snap.view
 	if q.UseKDE {
 		sample := q.KDESample
 		if sample == 0 {
 			sample = defaultKDESample
 		}
-		points := make([][]float64, e.data.Len())
+		data := view.data
+		points := make([][]float64, data.Len())
 		for i := range points {
 			row := make([]float64, e.Dims())
 			for j, c := range e.spec.FilterCols {
-				row[j] = e.data.Col(c)[i]
+				row[j] = data.Col(c)[i]
 			}
 			points[i] = row
 		}
@@ -362,7 +380,7 @@ func startStream(ctx context.Context, e *Engine, snap *snapshot, q Query, events
 		}
 	}
 	return newStream(ctx, e.observer, func(ctx context.Context, emit func(Event) bool) (*Result, error) {
-		return runQuery(ctx, e, finder, statFn, q, emit, events)
+		return runQuery(ctx, e, view, finder, statFn, q, emit, events)
 	}), nil
 }
 
@@ -371,12 +389,13 @@ func startTopKStream(ctx context.Context, e *Engine, snap *snapshot, q TopKQuery
 	if err := q.validate(); err != nil {
 		return nil, err
 	}
-	finder, _, err := finderFor(e, snap, q.UseTrueFunction)
+	finder, _, err := finderFor(snap, q.UseTrueFunction)
 	if err != nil {
 		return nil, err
 	}
+	view := snap.view
 	return newStream(ctx, e.observer, func(ctx context.Context, emit func(Event) bool) (*Result, error) {
-		return runTopK(ctx, e, finder, q, emit, events)
+		return runTopK(ctx, e, view, finder, q, emit, events)
 	}), nil
 }
 
@@ -399,7 +418,7 @@ func regionFromCore(r core.Region) Region {
 // reporting, then verification. With events false the mining runs
 // callback-free (no telemetry, no incumbent sweeps) — the events are
 // passive, so the Result is bit-identical either way.
-func runQuery(ctx context.Context, e *Engine, finder *core.Finder, statFn core.StatFn, q Query, emit func(Event) bool, events bool) (*Result, error) {
+func runQuery(ctx context.Context, e *Engine, view *dataView, finder *core.Finder, statFn core.StatFn, q Query, emit func(Event) bool, events bool) (*Result, error) {
 	dir := core.Below
 	if q.Above {
 		dir = core.Above
@@ -442,7 +461,7 @@ func runQuery(ctx context.Context, e *Engine, finder *core.Finder, statFn core.S
 		if maxRegions == 0 {
 			maxRegions = core.DefaultMaxRegions
 		}
-		clusters := core.ClusterRegions(res.Swarm, e.domain, 0.08)
+		clusters := core.ClusterRegions(res.Swarm, view.domain, 0.08)
 		if len(clusters) > maxRegions {
 			clusters = clusters[:maxRegions]
 		}
@@ -462,7 +481,7 @@ func runQuery(ctx context.Context, e *Engine, finder *core.Finder, statFn core.S
 		if objCfg.C == 0 {
 			objCfg.C = core.DefaultC
 		}
-		compliance, err = core.VerifyContext(ctx, res.Regions, core.StatFnFromEvaluator(e.evaluator), objCfg)
+		compliance, err = core.VerifyContext(ctx, res.Regions, core.StatFnFromEvaluator(view.evaluator), objCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -479,7 +498,7 @@ func runQuery(ctx context.Context, e *Engine, finder *core.Finder, statFn core.S
 }
 
 // runTopK is the single execution path of top-k queries.
-func runTopK(ctx context.Context, e *Engine, finder *core.Finder, q TopKQuery, emit func(Event) bool, events bool) (*Result, error) {
+func runTopK(ctx context.Context, e *Engine, view *dataView, finder *core.Finder, q TopKQuery, emit func(Event) bool, events bool) (*Result, error) {
 	cfg := core.TopKConfig{
 		K:           q.K,
 		Largest:     q.Largest,
@@ -504,7 +523,7 @@ func runTopK(ctx context.Context, e *Engine, finder *core.Finder, q TopKQuery, e
 		return nil, err
 	}
 	out := &Result{ComplianceRate: math.NaN()}
-	trueFn := core.StatFnFromEvaluator(e.evaluator)
+	trueFn := core.StatFnFromEvaluator(view.evaluator)
 	for _, r := range res.Regions {
 		region := Region{
 			Min:      append([]float64(nil), r.Rect.Min...),

@@ -68,6 +68,17 @@ func (c *mergedCache) stats() surf.CacheStats {
 	return st
 }
 
+// clear drops every entry while keeping the hit/miss counters — the
+// same contract as the engine cache's clear: a data append or retrain
+// invalidates results, but a hit ratio that resets on every swap would
+// be meaningless for capacity planning.
+func (c *mergedCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	clear(c.items)
+}
+
 func (c *mergedCache) put(key string, res *surf.Result) {
 	if res == nil {
 		return

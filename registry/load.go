@@ -7,16 +7,28 @@ import (
 	"os"
 
 	surf "surf"
+	"surf/drift"
+)
+
+// defaultDriftReservoir, defaultRetrainQueries and defaultRetrainTrees
+// are the drift-monitor defaults a spec's zero values resolve to.
+const (
+	defaultDriftReservoir = 64
+	defaultRetrainQueries = 256
+	defaultRetrainTrees   = 25
 )
 
 // engineSet is one loaded materialization of a spec: the full-dataset
 // engine plus, for sharded entries, one engine per row-range shard.
-// An engineSet is immutable after buildEngineSet returns — hot swaps
-// replace whole sets, never mutate one — so handles read it without
-// locks, the snapshot discipline the engine itself uses for surrogate
-// swaps.
+// The set's structure is immutable after buildEngineSet returns — hot
+// swaps replace whole sets, never re-point one — so handles read it
+// without locks. The engines inside are themselves living: an append
+// swaps new data snapshots into them (and a drift-triggered retrain a
+// new model) through the engine's own atomic snapshot discipline, so
+// queries in flight never see a torn set.
 type engineSet struct {
 	version int
+	spec    Spec
 	// engine serves unsharded execution and, for sharded entries,
 	// full-dataset verification of merged regions.
 	engine *surf.Engine
@@ -24,32 +36,48 @@ type engineSet struct {
 	// carries the same surrogate as engine and the full dataset's
 	// domain, so every shard optimizes over the same region space.
 	shards []*surf.Engine
-	rows   int
 	// merged caches sharded merged results. It lives and dies with the
-	// set: a hot swap installs a fresh set with a fresh cache, so a
-	// stale model's merged results can never be served.
+	// set: a hot swap installs a fresh set with a fresh cache, and an
+	// append or retrain clears it (keeping its counters), so stale
+	// merged results can never be served.
 	merged *mergedCache
+	// store is the living dataset backing the set's engines; shared
+	// with the entry so appended rows survive set swaps.
+	store *surf.Store
+	// drift is the entry's drift monitor (nil when the spec does not
+	// enable monitoring).
+	drift *driftState
 }
 
-// buildEngineSet materializes spec: read the CSV, open the full engine
+// buildEngineSet materializes spec: read the CSV (or adopt the entry's
+// existing living store, appended rows included), open the full engine
 // (and shard engines over row-range views sharing its columns), then
 // install the surrogate — loaded from the artifact or trained from a
 // generated workload — into every engine, all from one model so the
-// shards and the full engine agree bit-for-bit.
-func buildEngineSet(ctx context.Context, spec Spec, version int) (*engineSet, error) {
+// shards and the full engine agree bit-for-bit. When the spec enables
+// drift monitoring, a reservoir of the training queries (or generated
+// probes, on the artifact path) is kept for replay after appends.
+func buildEngineSet(ctx context.Context, spec Spec, version int, store *surf.Store) (*engineSet, error) {
 	stat, err := surf.ParseStatistic(spec.Statistic)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
 	}
-	f, err := os.Open(spec.Data)
-	if err != nil {
-		return nil, err
+	if store == nil {
+		f, err := os.Open(spec.Data)
+		if err != nil {
+			return nil, err
+		}
+		seed, err := surf.ReadCSVDataset(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		store, err = surf.NewStore(seed)
+		if err != nil {
+			return nil, err
+		}
 	}
-	ds, err := surf.ReadCSVDataset(f)
-	f.Close()
-	if err != nil {
-		return nil, err
-	}
+	ds, dataVersion := store.View()
 	cfg := surf.Config{
 		FilterColumns: spec.FilterColumns,
 		Statistic:     stat,
@@ -67,7 +95,13 @@ func buildEngineSet(ctx context.Context, spec Spec, version int) (*engineSet, er
 	if err != nil {
 		return nil, err
 	}
-	set := &engineSet{version: version, engine: full, rows: ds.Len(), merged: newMergedCache(mergedCacheSize)}
+	set := &engineSet{
+		version: version,
+		spec:    spec,
+		engine:  full,
+		merged:  newMergedCache(mergedCacheSize),
+		store:   store,
+	}
 
 	if spec.Shards > 1 {
 		// Every shard gets the full dataset's domain: shards must
@@ -89,7 +123,20 @@ func buildEngineSet(ctx context.Context, spec Spec, version int) (*engineSet, er
 			set.shards = append(set.shards, se)
 		}
 	}
+	if dataVersion != 1 {
+		// A reloaded store past its seed version: Open stamped the
+		// engines as version 1, so restamp them with the store's real
+		// version (same rows, same domain — only the label moves).
+		if err := full.SetDataset(ds, dataVersion); err != nil {
+			return nil, err
+		}
+		if err := set.resliceShards(ds, dataVersion); err != nil {
+			return nil, err
+		}
+	}
 
+	var wl surf.Workload
+	trained := false
 	switch {
 	case spec.Artifact != "":
 		// Read the artifact once and load it into every engine from
@@ -103,13 +150,14 @@ func buildEngineSet(ctx context.Context, spec Spec, version int) (*engineSet, er
 			return nil, err
 		}
 	case spec.Train > 0:
-		wl, err := full.GenerateWorkloadContext(ctx, spec.Train, spec.TrainSeed)
+		wl, err = full.GenerateWorkloadContext(ctx, spec.Train, spec.TrainSeed)
 		if err != nil {
 			return nil, err
 		}
 		if err := full.TrainSurrogateContext(ctx, wl, surf.TrainOptions{Seed: spec.TrainSeed}); err != nil {
 			return nil, err
 		}
+		trained = true
 		if len(set.shards) > 0 {
 			// Propagate the one trained model to the shards through the
 			// artifact round trip (bit-identical by the artifact tests).
@@ -124,7 +172,61 @@ func buildEngineSet(ctx context.Context, spec Spec, version int) (*engineSet, er
 			}
 		}
 	}
+
+	if spec.driftEnabled() {
+		capacity := spec.DriftReservoir
+		if capacity <= 0 {
+			capacity = defaultDriftReservoir
+		}
+		rsv := drift.NewReservoir(capacity, spec.TrainSeed+0x5eed)
+		if trained {
+			// Replay what the surrogate was actually trained on: drift
+			// on those regions is exactly "the model no longer matches
+			// its own training distribution".
+			for i := 0; i < wl.Len(); i++ {
+				c, h, _ := wl.Query(i)
+				rsv.Add(c, h)
+			}
+		} else {
+			// Artifact path: the training workload is gone, so probe
+			// with generated regions over the serving domain. Costs one
+			// data scan per probe, once, at load time.
+			probe, err := full.GenerateWorkloadContext(ctx, capacity, spec.TrainSeed+1)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < probe.Len(); i++ {
+				c, h, _ := probe.Query(i)
+				rsv.Add(c, h)
+			}
+		}
+		set.drift = &driftState{threshold: spec.DriftThreshold, samples: rsv.Samples()}
+	}
 	return set, nil
+}
+
+// resliceShards re-points every shard engine at its row range of a new
+// data version, keeping all shards on the full engine's domain so
+// merged results stay meaningful. Shard boundaries move as the row
+// count grows — the contiguous-range invariant (shard i owns rows
+// [i*n/k, (i+1)*n/k)) holds at every version.
+func (s *engineSet) resliceShards(ds *surf.Dataset, version uint64) error {
+	if len(s.shards) == 0 {
+		return nil
+	}
+	min, max := s.engine.Domain()
+	n := ds.Len()
+	k := len(s.shards)
+	for i, se := range s.shards {
+		sub, err := ds.Slice(i*n/k, (i+1)*n/k)
+		if err != nil {
+			return err
+		}
+		if err := se.SetDataset(sub, version, surf.WithDomain(min, max)); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // loadModel installs one artifact into the full engine and every

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"sync"
@@ -20,6 +21,9 @@ import (
 var (
 	ErrUnknownDataset = errors.New("registry: unknown dataset")
 	ErrBadSpec        = errors.New("registry: bad model spec")
+	// ErrBadAppend reports an append batch the entry's store rejected —
+	// wrong row width, empty batch (400 at the HTTP layer).
+	ErrBadAppend = errors.New("registry: bad append")
 )
 
 // Spec describes one registry entry: where the data lives, what the
@@ -54,6 +58,30 @@ type Spec struct {
 	Kernel string `json:"kernel,omitempty"`
 	// UseGridIndex builds grid indexes for true-function evaluation.
 	UseGridIndex bool `json:"use_grid_index,omitempty"`
+	// DriftThreshold enables drift-triggered background retraining:
+	// after every append the surrogate's normalized residual is
+	// re-measured over a reservoir of replayed training queries, and a
+	// score above the threshold kicks an incremental retrain that
+	// hot-swaps the extended model in. 0 disables auto-retrain (drift
+	// is still scored when DriftReservoir > 0).
+	DriftThreshold float64 `json:"drift_threshold,omitempty"`
+	// DriftReservoir sizes the replay reservoir (0 = default 64 when
+	// monitoring is on, -1 = disable drift monitoring entirely).
+	// Monitoring is on when this is positive or DriftThreshold is set.
+	DriftReservoir int `json:"drift_reservoir,omitempty"`
+	// RetrainQueries and RetrainTrees shape the drift-triggered
+	// retrain: a fresh workload of RetrainQueries region evaluations
+	// against the latest data version feeds RetrainTrees extra boosting
+	// rounds (defaults 256 and 25).
+	RetrainQueries int `json:"retrain_queries,omitempty"`
+	RetrainTrees   int `json:"retrain_trees,omitempty"`
+}
+
+// driftEnabled reports whether the spec asks for drift monitoring:
+// explicitly via a positive reservoir, or implicitly via a retrain
+// threshold (validate rejects a threshold with monitoring disabled).
+func (s Spec) driftEnabled() bool {
+	return s.DriftReservoir > 0 || (s.DriftThreshold > 0 && s.DriftReservoir != -1)
 }
 
 // merge fills s's zero fields from prev — the hot-swap inheritance
@@ -80,6 +108,18 @@ func (s Spec) merge(prev Spec) Spec {
 	if s.Kernel == "" {
 		s.Kernel = prev.Kernel
 	}
+	if s.DriftThreshold == 0 {
+		s.DriftThreshold = prev.DriftThreshold
+	}
+	if s.DriftReservoir == 0 {
+		s.DriftReservoir = prev.DriftReservoir
+	}
+	if s.RetrainQueries == 0 {
+		s.RetrainQueries = prev.RetrainQueries
+	}
+	if s.RetrainTrees == 0 {
+		s.RetrainTrees = prev.RetrainTrees
+	}
 	switch {
 	case s.Artifact != "" || s.Train > 0:
 		// Explicit model source; inherit neither.
@@ -105,6 +145,18 @@ func (s Spec) validate() error {
 		return fmt.Errorf("%w: train %d queries", ErrBadSpec, s.Train)
 	case s.Artifact != "" && s.Train > 0:
 		return fmt.Errorf("%w: artifact and train are mutually exclusive", ErrBadSpec)
+	case math.IsNaN(s.DriftThreshold) || math.IsInf(s.DriftThreshold, 0) || s.DriftThreshold < 0:
+		return fmt.Errorf("%w: drift threshold %g", ErrBadSpec, s.DriftThreshold)
+	case s.DriftReservoir < -1:
+		return fmt.Errorf("%w: drift reservoir %d", ErrBadSpec, s.DriftReservoir)
+	case s.DriftThreshold > 0 && s.DriftReservoir == -1:
+		return fmt.Errorf("%w: drift threshold set with drift monitoring disabled", ErrBadSpec)
+	case s.RetrainQueries < 0:
+		return fmt.Errorf("%w: retrain %d queries", ErrBadSpec, s.RetrainQueries)
+	case s.RetrainTrees < 0:
+		return fmt.Errorf("%w: retrain %d trees", ErrBadSpec, s.RetrainTrees)
+	case s.driftEnabled() && s.Artifact == "" && s.Train == 0:
+		return fmt.Errorf("%w: drift monitoring needs a surrogate (artifact or train)", ErrBadSpec)
 	}
 	if _, err := surf.ParseStatistic(s.Statistic); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadSpec, err)
@@ -176,6 +228,23 @@ type entry struct {
 	// inflight counts unreleased Handles; eviction skips busy entries.
 	inflight int
 	lruEl    *list.Element
+	// store is the entry's living dataset: it outlives engine-set swaps
+	// and evictions, so appended rows survive a hot swap or a reload,
+	// and is rebuilt only when the spec's data path changes (storeData
+	// remembers the path it was seeded from). Guarded by the registry
+	// mutex like every other entry field; the Store itself is
+	// concurrency-safe.
+	store     *surf.Store
+	storeData string
+	// appendMu serializes Append's store-commit → engine-swap → drift
+	// sequence per entry, off the registry mutex so appends never block
+	// Acquire. Queries need no lock: engines swap data snapshots
+	// atomically.
+	appendMu sync.Mutex
+	// retrainCancel cancels the in-flight drift-triggered retrain, if
+	// any; detach and Remove fire it so an orphaned engine set does not
+	// keep training.
+	retrainCancel context.CancelFunc
 }
 
 // state reports the entry's lifecycle state for status listings.
@@ -282,6 +351,10 @@ func (r *Registry) detachLocked(e *entry) {
 		r.lru.Remove(e.lruEl)
 		e.lruEl = nil
 	}
+	if e.retrainCancel != nil {
+		e.retrainCancel()
+		e.retrainCancel = nil
+	}
 	if e.set != nil {
 		e.set = nil
 		e.evicted = false // replaced, not evicted
@@ -304,6 +377,12 @@ func (r *Registry) evictLocked() {
 			e.lruEl = nil
 			e.set = nil
 			e.evicted = true
+			// The store survives (appended rows reload with the entry);
+			// an in-flight retrain of the dropped set does not.
+			if e.retrainCancel != nil {
+				e.retrainCancel()
+				e.retrainCancel = nil
+			}
 		}
 		el = prev
 	}
@@ -357,11 +436,23 @@ func (r *Registry) Acquire(ctx context.Context, name string) (*Handle, error) {
 		ch := make(chan struct{})
 		e.loading = ch
 		e.training = e.spec.Train > 0
-		spec, version := e.spec, e.version
+		spec, version, store := e.spec, e.version, e.reusableStoreLocked()
 		r.mu.Unlock()
-		go r.load(name, spec, version, ch)
+		go r.load(name, spec, version, store, ch)
 		r.mu.Lock()
 	}
+}
+
+// reusableStoreLocked returns the entry's living store when the
+// current spec still reads the same data path — a reload then serves
+// the store's latest version, appended rows included — and nil when
+// the data source changed, so the load seeds a fresh store from the
+// new CSV.
+func (e *entry) reusableStoreLocked() *surf.Store {
+	if e.store != nil && e.storeData == e.spec.Data {
+		return e.store
+	}
+	return nil
 }
 
 // load materializes an engine set for spec and installs it, unless a
@@ -370,10 +461,10 @@ func (r *Registry) Acquire(ctx context.Context, name string) (*Handle, error) {
 // Loads deliberately run under a background context: they are shared
 // by every waiter, so one caller's disconnect must not abort a
 // training run others are waiting on.
-func (r *Registry) load(name string, spec Spec, version int, ch chan struct{}) {
+func (r *Registry) load(name string, spec Spec, version int, store *surf.Store, ch chan struct{}) {
 	start := time.Now()
 	//lint:allow ctxflow: loads are shared by every waiter; one caller's disconnect must not abort a training run others wait on
-	set, err := buildEngineSet(context.Background(), spec, version)
+	set, err := buildEngineSet(context.Background(), spec, version, store)
 	dur := time.Since(start)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -396,6 +487,8 @@ func (r *Registry) load(name string, spec Spec, version int, ch chan struct{}) {
 	// the new set yet, so this entry would itself be the idle LRU
 	// candidate. The first Acquire to pin it evicts on its behalf.
 	e.set = set
+	e.store = set.store
+	e.storeData = spec.Data
 	e.evicted = false
 	e.lruEl = r.lru.PushFront(e)
 }
@@ -421,9 +514,9 @@ func (r *Registry) Warm(name string) error {
 	ch := make(chan struct{})
 	e.loading = ch
 	e.training = e.spec.Train > 0
-	spec, version := e.spec, e.version
+	spec, version, store := e.spec, e.version, e.reusableStoreLocked()
 	r.mu.Unlock()
-	go r.load(name, spec, version, ch)
+	go r.load(name, spec, version, store, ch)
 	return nil
 }
 
@@ -462,6 +555,32 @@ type ModelStatus struct {
 	// for sharded entries, the engine's own cache otherwise. Zero
 	// unless ready.
 	Cache surf.CacheStats
+	// DataVersion is the dataset version the entry serves: 1 for the
+	// CSV as loaded, incremented by every append (0 unless ready).
+	DataVersion uint64
+	// Drift reports the entry's drift monitor — nil when the spec does
+	// not enable drift monitoring or the entry is not ready.
+	Drift *DriftStatus
+}
+
+// DriftStatus is the externally visible state of one entry's drift
+// monitor.
+type DriftStatus struct {
+	// Score is the surrogate's normalized residual over the replayed
+	// reservoir as of the last check (0 until Checked).
+	Score float64
+	// Threshold is the spec's auto-retrain trigger (0 = score only).
+	Threshold float64
+	// Samples is the reservoir size being replayed.
+	Samples int
+	// Checked reports whether any drift evaluation has run yet.
+	Checked bool
+	// Retraining is true while a drift-triggered retrain is in flight;
+	// Retrains counts completed ones for this engine set.
+	Retraining bool
+	Retrains   uint64
+	// LastError is the most recent retrain failure, if any.
+	LastError string
 }
 
 // List reports every entry's status, sorted by name.
@@ -482,7 +601,8 @@ func (r *Registry) List() []ModelStatus {
 			st.Err = e.loadErr.Error()
 		}
 		if e.set != nil {
-			st.Rows = e.set.rows
+			// Live row count: appends grow the entry between loads.
+			st.Rows = e.set.engine.Rows()
 			st.Surrogate = e.set.engine.HasSurrogate()
 			if info, ok := e.set.engine.SurrogateInfo(); ok {
 				st.Info = &info
@@ -491,6 +611,10 @@ func (r *Registry) List() []ModelStatus {
 				st.Cache = e.set.merged.stats()
 			} else {
 				st.Cache = e.set.engine.CacheStats()
+			}
+			st.DataVersion = e.set.engine.DataVersion()
+			if e.set.drift != nil {
+				st.Drift = e.set.drift.status()
 			}
 		}
 		out = append(out, st)

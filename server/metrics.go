@@ -26,6 +26,7 @@ var routePatterns = []string{
 	"GET /v1/models/{name}",
 	"PUT /v1/models/{name}",
 	"DELETE /v1/models/{name}",
+	"POST /v1/datasets/{name}/append",
 }
 
 // statusClasses are the response-code classes requests are counted
@@ -186,6 +187,42 @@ func (m *serverMetrics) collectRegistry(reg *registry.Registry) {
 			for _, st := range reg.List() {
 				if st.Info != nil && st.Info.Kernel != "" {
 					emit(1, "dataset", st.Name, "kernel", st.Info.Kernel)
+				}
+			}
+		})
+	m.reg.Collect("surf_dataset_data_version", "Served data version (1 as loaded; appends increment it).", obs.TypeGauge,
+		func(emit func(v float64, labels ...string)) {
+			for _, st := range reg.List() {
+				if st.DataVersion > 0 {
+					emit(float64(st.DataVersion), "dataset", st.Name)
+				}
+			}
+		})
+	m.reg.Collect("surf_dataset_drift_score", "Last drift score from replaying the training reservoir (absent until a check runs).", obs.TypeGauge,
+		func(emit func(v float64, labels ...string)) {
+			for _, st := range reg.List() {
+				if st.Drift != nil && st.Drift.Checked {
+					emit(st.Drift.Score, "dataset", st.Name)
+				}
+			}
+		})
+	m.reg.Collect("surf_dataset_retraining", "1 while a drift-triggered retrain is in flight.", obs.TypeGauge,
+		func(emit func(v float64, labels ...string)) {
+			for _, st := range reg.List() {
+				if st.Drift != nil {
+					v := 0.0
+					if st.Drift.Retraining {
+						v = 1
+					}
+					emit(v, "dataset", st.Name)
+				}
+			}
+		})
+	m.reg.Collect("surf_dataset_retrains_total", "Drift-triggered retrains completed.", obs.TypeCounter,
+		func(emit func(v float64, labels ...string)) {
+			for _, st := range reg.List() {
+				if st.Drift != nil {
+					emit(float64(st.Drift.Retrains), "dataset", st.Name)
 				}
 			}
 		})

@@ -23,6 +23,13 @@ type statusRecorder struct {
 	// dataset is filled by noteDataset once a handler resolves its
 	// routing (including the default-dataset fallback).
 	dataset string
+	// dataVersion and driftScore are filled by noteDataVersion /
+	// noteDriftScore once a handler pins a living dataset; zero
+	// dataVersion and hasDrift=false mean "not resolved", so the
+	// access log emits these fields only when present.
+	dataVersion uint64
+	driftScore  float64
+	hasDrift    bool
 }
 
 func (sr *statusRecorder) WriteHeader(code int) {
@@ -55,6 +62,23 @@ var recorderPool = sync.Pool{New: func() any { return &statusRecorder{} }}
 func noteDataset(w http.ResponseWriter, dataset string) {
 	if sr, ok := w.(*statusRecorder); ok {
 		sr.dataset = dataset
+	}
+}
+
+// noteDataVersion records the data version the request served, for the
+// access log; same no-op contract as noteDataset.
+func noteDataVersion(w http.ResponseWriter, version uint64) {
+	if sr, ok := w.(*statusRecorder); ok {
+		sr.dataVersion = version
+	}
+}
+
+// noteDriftScore records the dataset's last drift score, for the
+// access log; same no-op contract as noteDataset.
+func noteDriftScore(w http.ResponseWriter, score float64) {
+	if sr, ok := w.(*statusRecorder); ok {
+		sr.driftScore = score
+		sr.hasDrift = true
 	}
 }
 
@@ -143,14 +167,23 @@ func withTrace(logger *slog.Logger, next http.Handler) http.Handler {
 		start := time.Now()
 		next.ServeHTTP(w, r)
 		status, bytes, dataset := 0, int64(0), ""
+		var dataVersion uint64
+		var driftScore float64
+		hasDrift := false
 		if sr, ok := w.(*statusRecorder); ok {
 			status, bytes, dataset = sr.status, sr.bytes, sr.dataset
+			dataVersion, driftScore, hasDrift = sr.dataVersion, sr.driftScore, sr.hasDrift
 		}
 		route := r.Pattern
 		if route == "" {
 			route = "other"
 		}
-		logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		// The fixed fields every line carries, plus the living-data
+		// fields only when the request actually resolved them — a
+		// request that never pinned a dataset logs no data_version,
+		// and drift_score appears only once a drift check has run.
+		attrs := make([]slog.Attr, 0, 10)
+		attrs = append(attrs,
 			slog.String("route", route),
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
@@ -160,5 +193,12 @@ func withTrace(logger *slog.Logger, next http.Handler) http.Handler {
 			slog.Int64("bytes", bytes),
 			slog.String("request_id", id),
 		)
+		if dataVersion != 0 {
+			attrs = append(attrs, slog.Uint64("data_version", dataVersion))
+		}
+		if hasDrift {
+			attrs = append(attrs, slog.Float64("drift_score", driftScore))
+		}
+		logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 	})
 }

@@ -15,13 +15,27 @@
 //	GET  /v1/models/{name}                  → one entry's status
 //	PUT  /v1/models/{name}   Spec           → register / hot-swap
 //	DELETE /v1/models/{name}                → remove
+//	POST /v1/datasets/{name}/append  {rows:[…]} → append rows (living data)
 //
 // A server built with New serves one engine; one built with
 // NewRegistry serves a multi-dataset registry.Registry, routing each
 // query by its "dataset" field (?dataset= for GET streams) with an
 // optional default for requests that name none. The /v1/models admin
-// API and per-dataset /healthz reporting are registry-mode features;
-// a single-engine server answers them 404 ("no_registry").
+// API, per-dataset /healthz reporting and the append endpoint are
+// registry-mode features; a single-engine server answers them 404
+// ("no_registry").
+//
+// # Living data
+//
+// POST /v1/datasets/{name}/append commits a batch of full-width rows
+// (the dataset's column order) to the entry's living store and swaps
+// the new data version into its serving engines — queries in flight
+// finish on the version they pinned, new queries see the appended
+// rows, and the result caches invalidate exactly as on a model swap.
+// When the entry's spec enables drift monitoring, the response (and
+// the /v1/models "drift" field) carries the post-append drift score
+// and whether it crossed the spec's threshold and started a
+// background retrain.
 //
 // # Request IDs and the error envelope
 //
@@ -39,6 +53,7 @@
 //	bad_query        400     malformed body/parameters, or invalid query (surf.ErrBadQuery)
 //	dim_mismatch     400     query geometry disagrees with the engine dims (surf.ErrDimMismatch)
 //	bad_spec         400     model spec that can never load (registry.ErrBadSpec)
+//	bad_append       400     append batch the store rejects (registry.ErrBadAppend)
 //	unknown_dataset  404     dataset name with no registry entry (registry.ErrUnknownDataset)
 //	no_registry      404     admin/routing request on a single-engine server
 //	body_too_large   413     request body over the 1 MiB bound
@@ -60,7 +75,10 @@
 // labeled by backend) with a surf_kernel_active gauge naming the
 // backend each served surrogate runs on, and per-dataset registry
 // state (lifecycle state, version, rows, in-flight handles, load
-// duration). The /v1/models listing reports the same backend as the
+// duration). Living-data entries add surf_dataset_data_version (the
+// served data version; appends increment it) and, when drift
+// monitoring is on, surf_dataset_drift_score, surf_dataset_retraining
+// and surf_dataset_retrains_total. The /v1/models listing reports the same backend as the
 // "kernel" field of each entry's surrogate_info — the kernel actually
 // compiled for that snapshot, including a scalar fallback.
 // WithAccessLogger adds one structured slog line per
@@ -173,6 +191,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/models/{name}", s.handleModelGet)
 	s.mux.HandleFunc("PUT /v1/models/{name}", s.handleModelPut)
 	s.mux.HandleFunc("DELETE /v1/models/{name}", s.handleModelDelete)
+	s.mux.HandleFunc("POST /v1/datasets/{name}/append", s.handleDatasetAppend)
 }
 
 // Handler returns the server's routes, wrapped in the metrics and
@@ -288,6 +307,10 @@ func (s *Server) acquire(ctx context.Context, w http.ResponseWriter, dataset str
 	if err != nil {
 		return nil, nil, err
 	}
+	noteDataVersion(w, h.DataVersion())
+	if score, ok := h.DriftScore(); ok {
+		noteDriftScore(w, score)
+	}
 	return h, h.Release, nil
 }
 
@@ -316,6 +339,8 @@ func statusFor(err error) (int, string) {
 		return http.StatusBadRequest, "dim_mismatch"
 	case errors.Is(err, registry.ErrBadSpec):
 		return http.StatusBadRequest, "bad_spec"
+	case errors.Is(err, registry.ErrBadAppend):
+		return http.StatusBadRequest, "bad_append"
 	case errors.Is(err, registry.ErrUnknownDataset):
 		return http.StatusNotFound, "unknown_dataset"
 	case errors.Is(err, errNoRegistry):
@@ -684,6 +709,39 @@ type modelBody struct {
 	// ready): the merged-result cache for sharded entries, the
 	// engine's own cache otherwise.
 	Cache *surf.CacheStats `json:"cache,omitempty"`
+	// DataVersion is the living store's served data version — 1 as
+	// loaded, incremented by every append (omitted unless ready).
+	DataVersion uint64 `json:"data_version,omitempty"`
+	// Drift is the entry's drift-monitor status (omitted unless the
+	// spec enables monitoring).
+	Drift *driftBody `json:"drift,omitempty"`
+}
+
+// driftBody is the wire form of a drift monitor's status, shared by
+// the /v1/models bodies and the append response.
+type driftBody struct {
+	// Score is the last replayed drift score (normalized residual
+	// error); meaningful only once Checked is true.
+	Score     float64 `json:"score"`
+	Threshold float64 `json:"threshold,omitempty"`
+	// Samples is the size of the replay reservoir.
+	Samples    int    `json:"samples"`
+	Checked    bool   `json:"checked"`
+	Retraining bool   `json:"retraining,omitempty"`
+	Retrains   uint64 `json:"retrains,omitempty"`
+	LastError  string `json:"last_error,omitempty"`
+}
+
+func driftBodyFor(d *registry.DriftStatus) *driftBody {
+	return &driftBody{
+		Score:      d.Score,
+		Threshold:  d.Threshold,
+		Samples:    d.Samples,
+		Checked:    d.Checked,
+		Retraining: d.Retraining,
+		Retrains:   d.Retrains,
+		LastError:  d.LastError,
+	}
 }
 
 type surrogateInfoBody struct {
@@ -714,6 +772,10 @@ func modelBodyFor(st registry.ModelStatus) modelBody {
 	if st.State == "ready" {
 		cache := st.Cache
 		b.Cache = &cache
+	}
+	b.DataVersion = st.DataVersion
+	if st.Drift != nil {
+		b.Drift = driftBodyFor(st.Drift)
 	}
 	if st.Info != nil {
 		b.SurrogateInfo = &surrogateInfoBody{
@@ -802,6 +864,62 @@ func (s *Server) handleModelDelete(w http.ResponseWriter, r *http.Request) {
 		Name    string `json:"name"`
 		Removed bool   `json:"removed"`
 	}{name, true})
+}
+
+// appendRequest is the POST /v1/datasets/{name}/append body: a batch
+// of full-width rows, each in the dataset's column order.
+type appendRequest struct {
+	Rows [][]float64 `json:"rows"`
+}
+
+// appendResponse reports one committed append: the data version it
+// published, the dataset's new total row count, and — for entries
+// that monitor drift — the post-append drift status and whether it
+// started a background retrain.
+type appendResponse struct {
+	Name           string     `json:"name"`
+	DataVersion    uint64     `json:"data_version"`
+	Rows           int        `json:"rows"`
+	Appended       int        `json:"appended"`
+	Drift          *driftBody `json:"drift,omitempty"`
+	RetrainStarted bool       `json:"retrain_started,omitempty"`
+}
+
+// handleDatasetAppend commits rows to a registry entry's living store
+// and swaps the new data version into its serving engines. The body
+// rides under the same 1 MiB bound as every other route; batches the
+// store rejects (wrong width, empty, non-finite values) answer 400
+// "bad_append" with nothing changed.
+func (s *Server) handleDatasetAppend(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		writeError(w, errNoRegistry)
+		return
+	}
+	name := r.PathValue("name")
+	noteDataset(w, name)
+	var req appendRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.reg.Append(r.Context(), name, req.Rows)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	noteDataVersion(w, res.Version)
+	body := appendResponse{
+		Name:           name,
+		DataVersion:    res.Version,
+		Rows:           res.Rows,
+		Appended:       res.Appended,
+		RetrainStarted: res.RetrainStarted,
+	}
+	if res.Drift != nil {
+		noteDriftScore(w, res.Drift.Score)
+		body.Drift = driftBodyFor(res.Drift)
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // healthzBody is the single-engine /healthz response.
